@@ -1,0 +1,13 @@
+"""End-to-end validation: every paper claim must reproduce."""
+
+from repro.validation import check_paper_claims, format_verdicts
+
+
+def test_paper_claims_reproduce(benchmark, archive, runner_factory):
+    # full-size traces: several claims compare configurations only a few
+    # percent apart, which small traces blur (see EXPERIMENTS.md)
+    runner = runner_factory(4, min_scale=1.0)
+    verdicts = benchmark.pedantic(check_paper_claims, args=(runner,), rounds=1, iterations=1)
+    archive("claims_validation", format_verdicts(verdicts))
+    failed = [v for v in verdicts if not v.passed]
+    assert not failed, "\n".join(f"{v.claim.claim_id}: {v.detail}" for v in failed)

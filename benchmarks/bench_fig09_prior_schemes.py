@@ -1,0 +1,17 @@
+"""Figure 9: Private / Shared / Cached comparison (4 GPUs, OTP 4x)."""
+
+from repro.experiments import fig09_prior_schemes as fig09
+
+
+def test_fig09_prior_schemes(benchmark, archive, runner_factory):
+    runner = runner_factory(4)
+    result = benchmark.pedantic(fig09.run, args=(runner,), rounds=1, iterations=1)
+    archive("fig09_prior_schemes", fig09.format_result(result))
+    private = result.average("private")
+    shared = result.average("shared")
+    cached = result.average("cached")
+    # the paper's headline shape: Shared is far worse than both
+    assert shared > private * 1.3
+    assert shared > cached * 1.3
+    # all secured schemes cost something on average
+    assert private > 1.0 and cached > 1.0

@@ -1,0 +1,26 @@
+"""Figure 10: OTP hit/partial/miss distribution of the prior schemes."""
+
+from repro.experiments import fig10_otp_distribution as fig10
+
+
+def test_fig10_otp_distribution(benchmark, archive, runner_factory):
+    runner = runner_factory(4)
+    result = benchmark.pedantic(
+        fig10.run,
+        args=(runner,),
+        kwargs={"schemes": ("private", "shared", "cached")},
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig10_otp_distribution", fig10.format_result(result))
+    private = result.distributions["private"]
+    shared = result.distributions["shared"]
+    cached = result.distributions["cached"]
+    # Shared hides far less of the send-direction latency than Private
+    assert shared["send"].hidden < private["send"].hidden
+    # Cached's flexible entry allocation hides at least as much as Private
+    assert cached["send"].hidden >= private["send"].hidden - 0.05
+    for scheme in result.schemes:
+        for direction in ("send", "recv"):
+            d = result.distributions[scheme][direction]
+            assert abs(d.hit + d.partial + d.miss - 1.0) < 1e-6

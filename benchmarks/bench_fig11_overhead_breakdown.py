@@ -1,0 +1,14 @@
+"""Figure 11: +SecureCommu vs +Traffic cumulative overheads."""
+
+from repro.experiments import fig11_overhead_breakdown as fig11
+
+
+def test_fig11_overhead_breakdown(benchmark, archive, runner_factory):
+    runner = runner_factory(4)
+    result = benchmark.pedantic(fig11.run, args=(runner,), rounds=1, iterations=1)
+    archive("fig11_overhead_breakdown", fig11.format_result(result))
+    latency_only = result.average("secure_commu")
+    with_traffic = result.average("traffic")
+    # metadata bandwidth adds overhead on top of the crypto latencies
+    assert with_traffic > latency_only
+    assert latency_only > 1.0

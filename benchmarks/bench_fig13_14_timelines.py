@@ -1,0 +1,16 @@
+"""Figures 13/14: matrix-multiplication communication timelines."""
+
+from repro.experiments import fig13_14_timelines as fig1314
+
+
+def test_fig13_14_timelines(benchmark, archive, runner_factory):
+    runner = runner_factory(4)
+    result = benchmark.pedantic(fig1314.run, args=(runner,), rounds=1, iterations=1)
+    archive("fig13_14_timelines", fig1314.format_result(result))
+    # the run must span several monitoring intervals ...
+    assert result.n_buckets >= 3
+    # ... and the destination mix must drift over execution (the paper's
+    # motivating observation for dynamic buffer allocation)
+    assert fig1314.pattern_drift(result) > 0.02
+    active = [f for f in result.send_fraction if 0.0 < f < 1.0]
+    assert active, "GPU 1 must both send and receive during execution"

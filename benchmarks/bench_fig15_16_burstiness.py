@@ -1,0 +1,19 @@
+"""Figures 15/16: data-block burst accumulation histograms."""
+
+from repro.experiments import fig15_16_burstiness as fig1516
+
+
+def test_fig15_16_burstiness(benchmark, archive, runner_factory):
+    runner = runner_factory(4)
+    result = benchmark.pedantic(fig1516.run, args=(runner,), rounds=1, iterations=1)
+    archive(
+        "fig15_16_burstiness",
+        fig1516.format_result(result, 16) + "\n\n" + fig1516.format_result(result, 32),
+    )
+    frac16 = result.fraction_within_160(16)
+    frac32 = result.fraction_within_160(32)
+    # the paper's observation: communication is bursty — a large share of
+    # 16-block groups accumulates within 160 cycles, and 32-block groups
+    # take longer than 16-block groups
+    assert frac16 > 0.35
+    assert frac32 <= frac16

@@ -1,0 +1,23 @@
+"""Figure 21: the headline 4-GPU comparison."""
+
+from repro.experiments import fig21_main_result as fig21
+
+
+def test_fig21_main_result(benchmark, archive, runner_factory):
+    # full-size traces: Dynamic's interval adaptation needs the statistics
+    runner = runner_factory(4, min_scale=1.0)
+    result = benchmark.pedantic(fig21.run, args=(runner,), rounds=1, iterations=1)
+    archive("fig21_main_result", fig21.format_result(result))
+    p4 = result.average("private_4x")
+    p16 = result.average("private_16x")
+    cached = result.average("cached_4x")
+    dynamic = result.average("dynamic_4x")
+    batching = result.average("batching_4x")
+    # headline shapes of the paper's evaluation:
+    assert batching < dynamic  # metadata batching adds on top of Dynamic
+    assert dynamic < p4  # Dynamic beats Private at equal storage
+    assert batching < cached + 0.02  # Ours beats/matches Cached
+    assert p16 < p4  # more buffers do help
+    # Known deviation (EXPERIMENTS.md): the paper's Batching < Private-16x
+    # does not reproduce — this substrate underprices metadata bandwidth,
+    # leaving Private-16x cheaper than in the paper.

@@ -1,0 +1,23 @@
+"""Figures 24/25: 8- and 16-GPU scaling of Private / Cached / Ours."""
+
+from repro.experiments import fig24_25_scaling as scaling
+
+
+def test_fig24_scaling_8gpus(benchmark, archive, runner_factory):
+    runner = runner_factory(8, min_scale=0.5)
+    result = benchmark.pedantic(
+        scaling.run, args=(8,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    archive("fig24_scaling_8gpus", scaling.format_result(result))
+    assert result.average("ours") < result.average("private")
+    assert result.average("ours") < result.average("cached")
+
+
+def test_fig25_scaling_16gpus(benchmark, archive, runner_factory):
+    runner = runner_factory(16, min_scale=0.5)
+    result = benchmark.pedantic(
+        scaling.run, args=(16,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    archive("fig25_scaling_16gpus", scaling.format_result(result))
+    assert result.average("ours") < result.average("private")
+    assert result.average("ours") < result.average("cached")

@@ -1,0 +1,23 @@
+"""Table I + §IV-D: storage overhead accounting (analytic)."""
+
+from repro.experiments import hw_overhead, table1_storage
+
+
+def test_table1_storage(benchmark, archive):
+    rows = benchmark.pedantic(table1_storage.run, rounds=1, iterations=1)
+    archive("table1_storage", table1_storage.format_result(rows))
+    # the paper's anchor cells must reproduce exactly
+    for (n, m), (kib, otps) in table1_storage.PAPER_VALUES.items():
+        row = table1_storage.storage_row(n, m)
+        assert abs(row.total_kib - kib) < 0.02
+        assert row.total_entries == otps
+
+
+def test_hw_overhead_accounting(benchmark, archive):
+    overheads = benchmark.pedantic(
+        lambda: [hw_overhead.compute(4, m) for m in (1, 4, 16)], rounds=1, iterations=1
+    )
+    archive("hw_overhead", hw_overhead.format_result(overheads))
+    base = overheads[0]
+    assert base.monitor_counter_bits == 512  # 4 peers x 2 dirs x 64 b
+    assert abs(base.msgmac_storage_kib_per_gpu - 2.0) < 1e-9  # 2 KB per GPU

@@ -1,0 +1,34 @@
+"""Table IV: workload RPKI classification."""
+
+from repro.configs import scheme_config
+from repro.experiments.common import format_table
+from repro.workloads import classify_rpki
+
+
+def test_table4_rpki_classification(benchmark, archive, runner_factory):
+    runner = runner_factory(4)
+
+    def measure():
+        rows = []
+        for spec in runner.workloads:
+            report = runner.run(spec, scheme_config("unsecure", n_gpus=4))
+            rows.append((spec, report.rpki, classify_rpki(report.rpki)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        "Table IV: measured RPKI per workload (4 GPUs, unsecure)",
+        ["workload", "abbr", "suite", "declared", "measured RPKI", "measured class"],
+        [
+            [s.name, s.abbr, s.suite, s.rpki_class, f"{rpki:.1f}", cls]
+            for s, rpki, cls in rows
+        ],
+    )
+    archive("table4_rpki", table)
+
+    by_class = {"high": [], "medium": [], "low": []}
+    for spec, rpki, _ in rows:
+        by_class[spec.rpki_class].append(rpki)
+    # the ordering of the paper's classes must hold in aggregate
+    avg = {k: sum(v) / len(v) for k, v in by_class.items()}
+    assert avg["high"] > avg["medium"] > avg["low"]

@@ -1,0 +1,63 @@
+"""Shared fixtures for the per-figure benchmark targets.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+harness once (``benchmark.pedantic`` with a single round — the measurement
+of interest is the simulated system, not Python's jitter), prints the
+paper-style table, and archives it under ``results/``.
+
+``REPRO_BENCH_SCALE`` shrinks the workload traces for quicker runs
+(default 0.4); ``REPRO_BENCH_SEED`` pins the workload seed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def archive(results_dir):
+    """Write a figure's text table to results/ and echo it."""
+
+    def _archive(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _archive
+
+
+@pytest.fixture()
+def runner_factory():
+    from repro.experiments.common import ExperimentRunner
+
+    def _make(n_gpus: int = 4, min_scale: float = 0.0) -> ExperimentRunner:
+        """Build a runner at the session bench scale.
+
+        ``min_scale`` floors the trace scale for experiments whose claims
+        need interval-level statistics (the Dynamic allocator adapts per
+        T=1000-cycle interval; traces below ~0.7 scale give it too few
+        samples to beat the noise gate).
+        """
+        scale = max(bench_scale(), min_scale)
+        return ExperimentRunner(n_gpus=n_gpus, seed=bench_seed(), scale=scale)
+
+    return _make

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Functional walk-through of the secure communication protocol.
+
+Everything the timing simulator models — counter-mode pads, MsgMACs,
+replay protection, batched MsgMAC verification with out-of-order delivery —
+executed *for real* on the from-scratch AES-128/GCM substrate.  Two
+endpoints exchange actual ciphertext; an attacker on the interconnect
+tries tampering and replay and is caught.
+"""
+
+from __future__ import annotations
+
+from repro.secure.protocol import ProtocolError, SecureEndpoint, WireMessage
+
+SESSION_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+HASH_KEY = bytes.fromhex("f0e0d0c0b0a090807060504030201000")
+
+
+def main() -> None:
+    gpu1 = SecureEndpoint(node_id=1, session_key=SESSION_KEY, hash_key=HASH_KEY)
+    gpu2 = SecureEndpoint(node_id=2, session_key=SESSION_KEY, hash_key=HASH_KEY)
+
+    print("1. Conventional per-message protocol (Fig. 5)")
+    payload = b"cacheline 0x1000: weights shard for layer 7".ljust(64, b".")
+    wire = gpu1.send_block(2, payload)
+    print(f"   MsgCTR={wire.counter}  ciphertext[:16]={wire.ciphertext[:16].hex()}")
+    print(f"   MsgMAC={wire.mac.hex()}")
+    received = gpu2.receive_block(wire)
+    assert received == payload
+    print("   receiver decrypted + verified OK")
+
+    print("\n2. Replay attack (§II-C)")
+    try:
+        gpu2.receive_block(wire)  # attacker re-sends the captured message
+    except ProtocolError as exc:
+        print(f"   replay rejected: {exc}")
+
+    print("\n3. Tampering on the interconnect")
+    wire2 = gpu1.send_block(2, b"transfer: 1000 credits to account A".ljust(64, b"!"))
+    flipped = WireMessage(
+        wire2.sender_id,
+        wire2.receiver_id,
+        wire2.counter,
+        bytes([wire2.ciphertext[0] ^ 0x01]) + wire2.ciphertext[1:],
+        wire2.mac,
+    )
+    try:
+        gpu2.receive_block(flipped)
+    except ProtocolError as exc:
+        print(f"   tamper rejected: {exc}")
+
+    print("\n4. Batched MsgMAC with out-of-order delivery (Fig. 19/20)")
+    blocks = [f"burst block {i:02d}".encode().ljust(64, b"-") for i in range(16)]
+    wires = [gpu1.send_block(2, blk, in_batch=True) for blk in blocks]
+    print(f"   16 blocks sent, per-block MACs held back (wire MAC = {wires[0].mac})")
+    order = [3, 0, 7, 1, 15, 2, 9, 4, 5, 12, 6, 8, 10, 13, 11, 14]
+    for i in order:  # network reorders within the batch
+        decrypted = gpu2.receive_block(wires[i])
+        assert decrypted == blocks[i]
+    print(f"   all 16 decrypted lazily; MsgMAC storage holds {gpu2.stored_macs(1)} MACs")
+    batch_mac = gpu1.close_batch(2)
+    print(f"   Batched_MsgMAC={batch_mac.mac.hex()} covering counters "
+          f"{batch_mac.first_counter}..{batch_mac.first_counter + batch_mac.count - 1}")
+    assert gpu2.verify_batch(batch_mac)
+    print("   batch verified: one 8-byte MAC + one ACK instead of 16 of each")
+
+    print("\nAll protocol properties demonstrated on real ciphertext.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: choosing an interconnect organization for a secure GPU box.
+
+A system architect is deciding between three GPU-fabric organizations for
+a confidential-computing appliance — point-to-point NVLink bridges, a
+central NVSwitch, or a rack-scale ring — and needs to know how each one
+prices the security protocol.  Shared fabric segments amplify the
+metadata-bandwidth tax, so the protection overhead is *not* fabric-neutral.
+
+The study runs an all-to-all-heavy workload (matrix transpose) and a
+neighbour-exchange workload (stencil) on every fabric, secured with the
+paper's full proposal, each normalized to its own unsecured fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import MultiGpuSystem, default_config, get_workload
+from repro.configs import LinkConfig
+
+FABRICS = ("p2p", "switch", "ring")
+WORKLOADS = ("mt", "st")
+N_GPUS = 4
+
+
+def simulate(workload: str, fabric: str, secured: bool, scale: float = 0.5):
+    link = LinkConfig(fabric=fabric)
+    if secured:
+        cfg = replace(
+            default_config(N_GPUS, scheme="dynamic", batching=True), link=link
+        )
+    else:
+        cfg = replace(default_config(N_GPUS), link=link)
+    trace = get_workload(workload).generate(n_gpus=N_GPUS, seed=1, scale=scale)
+    return MultiGpuSystem(cfg).run(trace)
+
+
+def main() -> None:
+    print("Fabric study: security overhead of Ours per interconnect organization")
+    print("=" * 70)
+    print(f"{'workload':10s} {'fabric':8s} {'baseline cyc':>13s} {'secured cyc':>12s} "
+          f"{'overhead':>9s}")
+    for workload in WORKLOADS:
+        for fabric in FABRICS:
+            base = simulate(workload, fabric, secured=False)
+            secured = simulate(workload, fabric, secured=True)
+            overhead = secured.execution_cycles / base.execution_cycles - 1
+            print(
+                f"{workload:10s} {fabric:8s} {base.execution_cycles:13d} "
+                f"{secured.execution_cycles:12d} {overhead:9.1%}"
+            )
+    print(
+        "\nReading the table: all-to-all traffic (mt) over a ring shares every\n"
+        "segment, so the +37% metadata bytes hurt most there; a fat switch\n"
+        "absorbs them almost for free. Halo exchange (st) only talks to ring\n"
+        "neighbours, so the ring penalty largely disappears."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scenario: provisioning OTP buffers for a multi-GPU product.
+
+An architect sizing the security unit must trade on-chip SRAM against
+communication slowdown.  This example sweeps the OTP multiplier for the
+Private scheme (the Figure 8 / Table I trade-off) on a communication-heavy
+workload, then shows what the paper's Dynamic + Batching proposal achieves
+at the *smallest* provisioning — the punchline being that smarter
+management beats 4x more SRAM.
+"""
+
+from __future__ import annotations
+
+from repro import MultiGpuSystem, default_config, get_workload, scheme_config
+from repro.experiments.table1_storage import storage_row
+
+WORKLOAD = "syr2k"
+N_GPUS = 4
+MULTIPLIERS = (1, 2, 4, 8, 16)
+
+
+def simulate(config, scale=0.5, seed=1):
+    trace = get_workload(WORKLOAD).generate(n_gpus=N_GPUS, seed=seed, scale=scale)
+    return MultiGpuSystem(config).run(trace)
+
+
+def main() -> None:
+    print(f"OTP buffer provisioning study — {WORKLOAD}, {N_GPUS} GPUs")
+    print("=" * 58)
+
+    baseline = simulate(scheme_config("unsecure", n_gpus=N_GPUS))
+
+    print(f"\n{'config':18s} {'SRAM/GPU':>10s} {'slowdown':>9s} {'send OTP hit':>13s}")
+    for m in MULTIPLIERS:
+        report = simulate(scheme_config("private", n_gpus=N_GPUS, otp_multiplier=m))
+        sram = storage_row(N_GPUS, m).per_gpu_kib
+        print(
+            f"Private OTP {m:2d}x    {sram:8.2f}KB {report.slowdown_vs(baseline):9.3f} "
+            f"{report.otp_send.hit:13.1%}"
+        )
+
+    ours = simulate(default_config(N_GPUS, scheme="dynamic", batching=True))
+    sram = storage_row(N_GPUS, 4).per_gpu_kib
+    print(
+        f"\nOurs (Dyn+Batch 4x) {sram:7.2f}KB {ours.slowdown_vs(baseline):9.3f} "
+        f"{ours.otp_send.hit:13.1%}"
+    )
+    print(
+        "\nTakeaway: dynamic allocation + batching at 4x provisioning "
+        "competes with (or beats) Private at 16x — a 4x SRAM saving — because "
+        "extra buffers cannot recover the bandwidth consumed by per-block "
+        "security metadata."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scenario: estimate the protection cost of *your* application.
+
+A team that knows their application's communication profile — roughly how
+remote-heavy, how bursty, how skewed toward one neighbour — can estimate
+what TEE-grade link protection will cost before writing a line of GPU
+code.  This example dials the synthetic workload generator across remote
+intensity, runs the paper's protection stack on each profile, captures a
+message-level trace, and renders the cost curve as a terminal chart.
+"""
+
+from __future__ import annotations
+
+from repro import MultiGpuSystem, scheme_config
+from repro.experiments.ascii_chart import hbar_chart
+from repro.tracing import MessageTracer
+from repro.workloads.synthetic import synthetic_spec
+
+
+def protection_overhead(remote_fraction: float) -> tuple[float, float]:
+    """(slowdown, mean data-response latency) of Ours for one profile."""
+    spec = synthetic_spec(
+        f"app-r{remote_fraction:.0%}",
+        remote_fraction=remote_fraction,
+        burst_length=16,
+        gap=3,
+        skew=2.0,
+    )
+    baseline = MultiGpuSystem(scheme_config("unsecure")).run(
+        spec.generate(n_gpus=4, seed=1, scale=0.4)
+    )
+    secured_system = MultiGpuSystem(scheme_config("batching"))
+    tracer = MessageTracer().attach(secured_system)
+    secured = secured_system.run(spec.generate(n_gpus=4, seed=1, scale=0.4))
+    return secured.slowdown_vs(baseline), tracer.mean_latency("data_resp")
+
+
+def main() -> None:
+    print("Protection-cost estimator for a custom application profile")
+    print("=" * 60)
+    fractions = (0.1, 0.3, 0.5, 0.7, 0.9)
+    rows = []
+    latencies = {}
+    for rf in fractions:
+        slowdown, resp_latency = protection_overhead(rf)
+        rows.append((f"{rf:.0%} remote", slowdown))
+        latencies[rf] = resp_latency
+    print()
+    print(hbar_chart("slowdown of Ours vs unsecure, by remote intensity", rows,
+                     baseline=1.0))
+    print()
+    print("mean secured data-response latency (cycles):")
+    for rf in fractions:
+        print(f"  {rf:.0%} remote: {latencies[rf]:7.1f}")
+    print(
+        "\nTakeaway: protection cost grows with how much of the working set\n"
+        "crosses the untrusted links — yet even at 90% remote the full\n"
+        "Dynamic+Batching stack holds the overhead to a few percent for\n"
+        "this profile, because bursts of 16 amortize the metadata and the\n"
+        "allocator keeps the hot pair's pads warm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Scenario: confidential multi-GPU ML inference.
+
+The paper's motivating deployment is mission-critical / cloud GPU
+computing inside TEEs.  This example models a confidential inference
+pipeline built with the public :class:`~repro.workloads.TraceBuilder` API:
+
+1. **Ingest** — encrypted activations stream from host (CPU) memory to
+   every GPU over PCIe (pinned pages, direct block access);
+2. **Layer compute** — each GPU applies its layer shard with moderate
+   local traffic;
+3. **All-reduce exchange** — GPUs exchange partial results ring-style in
+   bursts, the inter-GPU phase the metadata batching targets;
+4. **Collect** — results are written back toward the host shard.
+
+It then compares the conventional per-message protocol (Private) against
+the paper's full proposal (Dynamic + batching), reporting latency overhead
+and interconnect bytes — the two costs a deployment engineer would budget.
+"""
+
+from __future__ import annotations
+
+from repro import MultiGpuSystem, scheme_config
+from repro.memory.address_space import Placement
+from repro.workloads.builder import TraceBuilder
+
+
+def build_inference_trace(n_gpus: int = 4, batches: int = 28, seed: int = 7):
+    b = TraceBuilder("secure_inference", n_gpus, seed=seed)
+    lane_count = b.n_lanes
+    activations = b.alloc(
+        "activations", n_gpus * lane_count * 48, Placement.OWNER, owner=0, pinned=True
+    )
+    weights = b.alloc("weights", n_gpus * 8 * 64, Placement.BLOCKED)
+    partials = b.alloc("partials", n_gpus * 4 * 64, Placement.BLOCKED)
+
+    for batch in range(batches):
+        for g in b.gpus():
+            w_first, w_blocks = b.blocked_range(weights, g)
+            p_first, p_blocks = b.blocked_range(partials, g)
+            ring_next = b.peer_gpu(g, +1)
+            n_first, n_blocks = b.blocked_range(partials, ring_next)
+            for lane in range(lane_count):
+                # 1. ingest this batch's activation slice from the host
+                start = ((g - 1) * lane_count + lane) * 48 + batch
+                b.burst(g, lane, activations, start % activations.n_blocks, 12, gap=0)
+                # 2. layer compute against the local weight shard
+                b.burst(g, lane, weights, w_first + (lane * 8) % max(1, w_blocks - 8),
+                        8, gap=4)
+                b.compute(g, lane, 120)
+                # 3. ring exchange: read the neighbour's partials in a burst
+                if n_blocks:
+                    b.burst(g, lane, partials,
+                            n_first + (batch * 16) % max(1, n_blocks - 16), 16, gap=0)
+                # 4. update local partials
+                b.burst(g, lane, partials,
+                        p_first + (batch * 8) % max(1, p_blocks - 8), 8, gap=2,
+                        write=True)
+    return b.build()
+
+
+def main() -> None:
+    n_gpus = 4
+    print("Confidential multi-GPU inference pipeline")
+    print("=========================================")
+
+    results = {}
+    for scheme in ("unsecure", "private", "batching"):
+        trace = build_inference_trace(n_gpus)
+        results[scheme] = MultiGpuSystem(scheme_config(scheme, n_gpus=n_gpus)).run(trace)
+
+    base = results["unsecure"]
+    print(f"\nbaseline: {base.execution_cycles} cycles, "
+          f"{base.traffic_bytes / 1024:.0f} KiB on the interconnects, "
+          f"{base.remote_requests} remote block requests\n")
+
+    print(f"{'protection':22s} {'latency overhead':>17s} {'interconnect bytes':>19s} "
+          f"{'ACKs':>7s}")
+    for scheme, label in (("private", "conventional (Private)"),
+                          ("batching", "paper proposal (Ours)")):
+        r = results[scheme]
+        print(
+            f"{label:22s} {r.slowdown_vs(base) - 1:17.1%} "
+            f"{r.traffic_ratio_vs(base) - 1:+18.1%} {r.acks_sent:7d}"
+        )
+
+    ours, conv = results["batching"], results["private"]
+    saved = 1 - ours.traffic_bytes / conv.traffic_bytes
+    print(
+        f"\nDynamic OTP allocation + metadata batching removes "
+        f"{saved:.1%} of the secured traffic and cuts replay ACKs "
+        f"{conv.acks_sent / max(1, ours.acks_sent):.0f}x, while preserving the "
+        "same confidentiality, integrity, and replay guarantees (lazy "
+        "verification never releases unverified data to the TCB boundary)."
+    )
+
+
+if __name__ == "__main__":
+    main()

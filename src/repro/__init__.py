@@ -1,0 +1,65 @@
+"""repro — secure multi-GPU communication simulator.
+
+A from-scratch reproduction of *"Supporting Secure Multi-GPU Computing
+with Dynamic and Batched Metadata Management"* (HPCA 2024): a trace-driven
+discrete-event simulator of a CPU + N-GPU system with fine-grained shared
+memory, counter-mode authenticated-encrypted interconnects, four OTP
+buffer-management schemes (Private / Shared / Cached and the paper's
+Dynamic), and security-metadata batching.
+
+Quickstart::
+
+    from repro import MultiGpuSystem, scheme_config, get_workload
+
+    trace = get_workload("matrixmultiplication").generate(n_gpus=4, seed=1)
+    baseline = MultiGpuSystem(scheme_config("unsecure")).run(trace)
+
+    trace = get_workload("matrixmultiplication").generate(n_gpus=4, seed=1)
+    secured = MultiGpuSystem(scheme_config("batching")).run(trace)
+
+    print(f"overhead: {secured.slowdown_vs(baseline) - 1:.1%}")
+"""
+
+from repro.configs import (
+    GpuConfig,
+    LinkConfig,
+    MetadataConfig,
+    MigrationConfig,
+    SecurityConfig,
+    SystemConfig,
+    default_config,
+    scheme_config,
+)
+from repro.system import MultiGpuSystem, OtpDistribution, SimulationReport, run_workload
+from repro.workloads import (
+    TraceBuilder,
+    WorkloadSpec,
+    WorkloadTrace,
+    all_workloads,
+    get_workload,
+    workloads_in_class,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GpuConfig",
+    "LinkConfig",
+    "MetadataConfig",
+    "MigrationConfig",
+    "SecurityConfig",
+    "SystemConfig",
+    "default_config",
+    "scheme_config",
+    "MultiGpuSystem",
+    "OtpDistribution",
+    "SimulationReport",
+    "run_workload",
+    "TraceBuilder",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "all_workloads",
+    "get_workload",
+    "workloads_in_class",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Post-processing analysis of simulation reports.
+
+Utilities the experiment harnesses and examples share: aggregating reports
+across workloads, comparing schemes, and characterizing traffic/burstiness.
+"""
+
+from repro.analysis.compare import SchemeComparison, compare_schemes
+from repro.analysis.traffic import TrafficBreakdown, traffic_breakdown
+from repro.analysis.burstiness import burst_summary
+
+__all__ = [
+    "SchemeComparison",
+    "compare_schemes",
+    "TrafficBreakdown",
+    "traffic_breakdown",
+    "burst_summary",
+]

@@ -1,0 +1,36 @@
+"""Burstiness characterization of a simulation report."""
+
+from __future__ import annotations
+
+from repro.system import SimulationReport
+
+#: Bin count of the Figs 15/16 histograms: [0,40) [40,160) [160,640)
+#: [640,2560) [2560,inf)
+N_BINS = 5
+
+
+def burst_summary(report: SimulationReport, group: int = 16) -> dict[str, float]:
+    """Summarize a report's burst histogram.
+
+    Returns the fraction of ``group``-block accumulations completing within
+    160 cycles, within 640 cycles, and the tail beyond 2560 cycles —
+    the quantities the paper's §III-B discussion cites.
+    """
+    if group == 16:
+        fractions = report.burst16_fractions
+    elif group == 32:
+        fractions = report.burst32_fractions
+    else:
+        raise ValueError("the paper measures 16- and 32-block groups")
+    if not fractions:
+        return {"within_160": 0.0, "within_640": 0.0, "tail": 0.0}
+    if len(fractions) != N_BINS:
+        raise ValueError(f"expected {N_BINS} bins, got {len(fractions)}")
+    return {
+        "within_160": fractions[0] + fractions[1],
+        "within_640": fractions[0] + fractions[1] + fractions[2],
+        "tail": fractions[4],
+    }
+
+
+__all__ = ["burst_summary", "N_BINS"]

@@ -1,0 +1,48 @@
+"""Scheme-vs-scheme comparison of simulation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system import SimulationReport
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Pairwise comparison of one workload under two configurations."""
+
+    workload: str
+    baseline_scheme: str
+    candidate_scheme: str
+    speedup: float  # >1 means the candidate is faster
+    traffic_saving: float  # fraction of bytes removed (can be negative)
+    hit_rate_delta_send: float
+    hit_rate_delta_recv: float
+
+    @property
+    def candidate_wins(self) -> bool:
+        return self.speedup > 1.0
+
+
+def compare_schemes(
+    baseline: SimulationReport, candidate: SimulationReport
+) -> SchemeComparison:
+    """Compare two reports of the *same workload trace*."""
+    if baseline.workload != candidate.workload:
+        raise ValueError(
+            f"cannot compare different workloads: {baseline.workload} vs {candidate.workload}"
+        )
+    if candidate.execution_cycles <= 0 or baseline.traffic_bytes <= 0:
+        raise ValueError("reports must contain completed executions")
+    return SchemeComparison(
+        workload=baseline.workload,
+        baseline_scheme=baseline.scheme,
+        candidate_scheme=candidate.scheme,
+        speedup=baseline.execution_cycles / candidate.execution_cycles,
+        traffic_saving=1.0 - candidate.traffic_bytes / baseline.traffic_bytes,
+        hit_rate_delta_send=candidate.otp_send.hit - baseline.otp_send.hit,
+        hit_rate_delta_recv=candidate.otp_recv.hit - baseline.otp_recv.hit,
+    )
+
+
+__all__ = ["SchemeComparison", "compare_schemes"]

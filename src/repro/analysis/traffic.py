@@ -1,0 +1,42 @@
+"""Traffic decomposition of a simulation report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system import SimulationReport
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Bytes on the interconnect, split by what put them there."""
+
+    workload: str
+    scheme: str
+    total_bytes: int
+    base_bytes: int  # headers + payloads the unsecure system also sends
+    meta_bytes: int  # security metadata (CTR, MAC, IDs, ACKs, batch MACs)
+
+    @property
+    def meta_fraction(self) -> float:
+        return self.meta_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def amplification(self) -> float:
+        """total / base — the security bandwidth tax."""
+        return self.total_bytes / self.base_bytes if self.base_bytes else 1.0
+
+
+def traffic_breakdown(report: SimulationReport) -> TrafficBreakdown:
+    if report.base_traffic_bytes + report.meta_traffic_bytes != report.traffic_bytes:
+        raise ValueError("report's byte accounting is inconsistent")
+    return TrafficBreakdown(
+        workload=report.workload,
+        scheme=report.scheme,
+        total_bytes=report.traffic_bytes,
+        base_bytes=report.base_traffic_bytes,
+        meta_bytes=report.meta_traffic_bytes,
+    )
+
+
+__all__ = ["TrafficBreakdown", "traffic_breakdown"]

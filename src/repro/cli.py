@@ -1,0 +1,170 @@
+"""Command-line interface: ``repro-sim`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run``         — simulate one workload under one scheme
+* ``compare``     — one workload across all schemes, normalized table
+* ``experiment``  — regenerate a paper table/figure by name
+* ``list``        — list workloads and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.configs import scheme_config
+from repro.system import run_workload
+from repro.workloads import all_workloads, get_workload
+
+SCHEMES = ("unsecure", "private", "shared", "cached", "dynamic", "batching", "ideal")
+
+EXPERIMENTS = {
+    "table1": ("repro.experiments.table1_storage", {}),
+    "fig8": ("repro.experiments.fig08_otp_sensitivity", {"needs_runner": True}),
+    "fig9": ("repro.experiments.fig09_prior_schemes", {"needs_runner": True}),
+    "fig10": ("repro.experiments.fig10_otp_distribution", {"needs_runner": True}),
+    "fig11": ("repro.experiments.fig11_overhead_breakdown", {"needs_runner": True}),
+    "fig12": ("repro.experiments.fig12_traffic", {"needs_runner": True}),
+    "fig13": ("repro.experiments.fig13_14_timelines", {"needs_runner": True}),
+    "fig15": ("repro.experiments.fig15_16_burstiness", {"needs_runner": True}),
+    "fig21": ("repro.experiments.fig21_main_result", {"needs_runner": True}),
+    "fig26": ("repro.experiments.fig26_aes_latency", {"needs_runner": True}),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Secure multi-GPU communication simulator (HPCA 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload under one scheme")
+    run_p.add_argument("workload", help="workload name or Table IV abbreviation")
+    run_p.add_argument("--scheme", choices=SCHEMES, default="batching")
+    run_p.add_argument("--gpus", type=int, default=4)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--scale", type=float, default=1.0)
+
+    cmp_p = sub.add_parser("compare", help="one workload across all schemes")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument("--gpus", type=int, default=4)
+    cmp_p.add_argument("--seed", type=int, default=1)
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=[*sorted(EXPERIMENTS), "all"])
+    exp_p.add_argument("--gpus", type=int, default=4)
+    exp_p.add_argument("--seed", type=int, default=1)
+    exp_p.add_argument("--scale", type=float, default=0.5)
+    exp_p.add_argument("--out", default="results/full", help="output dir for 'all'")
+
+    val_p = sub.add_parser("validate", help="check the paper's claims against this build")
+    val_p.add_argument("--gpus", type=int, default=4)
+    val_p.add_argument("--seed", type=int, default=1)
+    val_p.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="list workloads and experiments")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    spec = get_workload(args.workload)
+    trace = spec.generate(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
+    report = run_workload(scheme_config(args.scheme, n_gpus=args.gpus), trace)
+    print(f"workload           {spec.name} ({spec.suite}, {spec.rpki_class} RPKI)")
+    print(f"scheme             {report.scheme}")
+    print(f"execution cycles   {report.execution_cycles}")
+    print(f"remote requests    {report.remote_requests}")
+    print(f"RPKI               {report.rpki:.1f}")
+    print(f"page migrations    {report.migrations}")
+    print(f"traffic bytes      {report.traffic_bytes} ({report.meta_traffic_bytes} metadata)")
+    if report.scheme != "unsecure":
+        print(f"OTP send hit/partial/miss  {report.otp_send.hit:.1%} / "
+              f"{report.otp_send.partial:.1%} / {report.otp_send.miss:.1%}")
+        print(f"OTP recv hit/partial/miss  {report.otp_recv.hit:.1%} / "
+              f"{report.otp_recv.partial:.1%} / {report.otp_recv.miss:.1%}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    spec = get_workload(args.workload)
+
+    def simulate(scheme):
+        trace = spec.generate(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
+        return run_workload(scheme_config(scheme, n_gpus=args.gpus), trace)
+
+    baseline = simulate("unsecure")
+    print(f"{spec.name} on {args.gpus} GPUs (normalized to unsecure, "
+          f"{baseline.execution_cycles} cycles)")
+    print(f"{'scheme':10s} {'slowdown':>9s} {'traffic':>9s} {'send hit':>9s} {'recv hit':>9s}")
+    for scheme in SCHEMES[1:]:
+        report = simulate(scheme)
+        print(
+            f"{scheme:10s} {report.slowdown_vs(baseline):9.3f} "
+            f"{report.traffic_ratio_vs(baseline):9.3f} "
+            f"{report.otp_send.hit:9.1%} {report.otp_recv.hit:9.1%}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    if args.name == "all":
+        from repro.experiments.report import generate_all
+
+        sections = generate_all(args.out, scale=args.scale, seed=args.seed)
+        print(f"\nwrote {len(sections)} experiment tables to {args.out}/")
+        return 0
+
+    module_name, opts = EXPERIMENTS[args.name]
+    module = importlib.import_module(module_name)
+    if opts.get("needs_runner"):
+        from repro.experiments.common import ExperimentRunner
+
+        runner = ExperimentRunner(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
+        result = module.run(runner)
+    else:
+        result = module.run()
+    print(module.format_result(result))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.common import ExperimentRunner
+    from repro.validation import check_paper_claims, format_verdicts
+
+    runner = ExperimentRunner(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
+    verdicts = check_paper_claims(runner)
+    print(format_verdicts(verdicts))
+    return 0 if all(v.passed for v in verdicts) else 1
+
+
+def _cmd_list() -> int:
+    print("Workloads (Table IV):")
+    for spec in all_workloads():
+        print(f"  {spec.abbr:7s} {spec.name:22s} {spec.suite:12s} {spec.rpki_class} RPKI")
+    print("\nExperiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("Schemes:", ", ".join(SCHEMES))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

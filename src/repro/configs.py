@@ -1,0 +1,185 @@
+"""System configuration — the simulated machine of Table III.
+
+Every experiment builds a :class:`SystemConfig` (usually via
+:func:`default_config`) and overrides only what its sweep varies: the OTP
+scheme, the OTP multiplier (``OTP Nx``), the AES-GCM latency, or the GPU
+count.  All cycle quantities are at the 1 GHz shader clock, so GB/s values
+from the paper translate numerically into bytes/cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Per-GPU microarchitecture (Table III, abstracted).
+
+    ``n_lanes`` compute-unit lanes replay the workload per GPU; each lane
+    stands for a group of CUs sharing an L1 (the full 64-CU machine is
+    folded into fewer lanes to keep the Python model tractable — burstiness
+    and overlap, the properties the paper's mechanisms react to, come from
+    lane multiplicity, not the absolute CU count).
+    """
+
+    n_lanes: int = 8
+    lane_outstanding: int = 8  # wavefront-dependency cap per lane
+    max_outstanding: int = 64  # GPU-wide remote-request window (MSHR-like)
+    l1_size: int = 16 * 1024
+    l1_assoc: int = 4
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 16
+    hbm_latency: int = 160
+    hbm_bytes_per_cycle: float = 512.0
+    iommu_walk_cycles: int = 200
+    l1_tlb_entries: int = 64
+    l2_tlb_entries: int = 1024
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Interconnect rates (Table III) and the GPU-fabric organization.
+
+    ``fabric``: ``p2p`` (per-GPU full-rate ports, the paper's setting),
+    ``ring`` (rack-scale ring, messages hop through intermediate GPUs), or
+    ``switch`` (central NVSwitch-like crossbar with finite aggregate
+    bandwidth = ``switch_factor`` × a port rate).
+    """
+
+    pcie_bytes_per_cycle: float = 32.0
+    nvlink_bytes_per_cycle: float = 50.0
+    pcie_latency: int = 120
+    nvlink_latency: int = 60
+    fabric: str = "p2p"
+    switch_factor: float = 4.0
+
+
+@dataclass(frozen=True)
+class MetadataConfig:
+    """Wire sizes for headers and security metadata (§II-C, §IV-D).
+
+    ``compressed_counters`` is an optional extension beyond the paper
+    (Common-Counters-style delta encoding): per-pair channels deliver in
+    FIFO order, so the full 64-bit MsgCTR can be replaced by a short delta
+    against the receiver's expected counter, resynchronized via the ACK
+    stream.
+    """
+
+    request_header_bytes: int = 16
+    response_header_bytes: int = 16
+    block_bytes: int = 64
+    msg_ctr_bytes: int = 8
+    msg_mac_bytes: int = 8
+    sender_id_bytes: int = 1
+    ack_bytes: int = 16
+    batch_len_bytes: int = 1
+    compressed_counters: bool = False
+    compressed_ctr_bytes: int = 2
+
+    @property
+    def wire_ctr_bytes(self) -> int:
+        return self.compressed_ctr_bytes if self.compressed_counters else self.msg_ctr_bytes
+
+    @property
+    def per_message_meta_bytes(self) -> int:
+        """CTR + MAC + sender ID attached to each secured message."""
+        return self.wire_ctr_bytes + self.msg_mac_bytes + self.sender_id_bytes
+
+    @property
+    def batched_block_meta_bytes(self) -> int:
+        """Metadata still attached per block when batching is on."""
+        return self.wire_ctr_bytes + self.sender_id_bytes
+
+
+@dataclass(frozen=True)
+class SecurityConfig:
+    """Which protection scheme runs and how it is provisioned."""
+
+    scheme: str = "unsecure"  # unsecure | private | shared | cached | dynamic
+    otp_multiplier: int = 4  # the paper's "OTP Nx"
+    aes_gcm_latency: int = 40
+    ghash_latency: int = 4  # MAC compute with a ready pad
+    xor_latency: int = 1  # en/decrypt with a ready pad
+    count_metadata: bool = True  # False isolates +SecureCommu (Fig. 11)
+    batching: bool = False
+    batch_size: int = 16
+    batch_timeout: int = 160  # cycles an open batch waits before closing
+    alpha: float = 0.9  # EWMA rate, send/recv direction split
+    beta: float = 0.5  # EWMA rate, per-destination split
+    interval: int = 1000  # T, the monitoring/adjustment interval
+    audit: bool = False  # record secured messages for functional replay
+    protect_requests: bool = False  # extension: secure control messages too [34]
+    metadata: MetadataConfig = field(default_factory=MetadataConfig)
+
+    def total_otp_entries(self, n_peers: int) -> int:
+        """Pool size per processor: peers x 2 directions x multiplier."""
+        return n_peers * 2 * self.otp_multiplier
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Access-counter page-migration policy parameters (§V-A)."""
+
+    threshold: int = 8
+    driver_cycles: int = 2000
+    shootdown_cycles: int = 800
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The whole simulated machine."""
+
+    n_gpus: int = 4
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    security: SecurityConfig = field(default_factory=SecurityConfig)
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
+    cpu_dram_latency: int = 220
+    timeline_interval: int = 5000  # bucketing for Figs 13/14 series
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_gpus + 1
+
+    @property
+    def n_peers(self) -> int:
+        """Peers of any node: everyone else (CPU + other GPUs)."""
+        return self.n_nodes - 1
+
+    def with_security(self, **overrides) -> "SystemConfig":
+        return replace(self, security=replace(self.security, **overrides))
+
+
+def default_config(n_gpus: int = 4, **security_overrides) -> SystemConfig:
+    """Table III configuration with optional security overrides."""
+    cfg = SystemConfig(n_gpus=n_gpus)
+    if security_overrides:
+        cfg = cfg.with_security(**security_overrides)
+    return cfg
+
+
+# Named configurations matching the paper's evaluated systems.
+def scheme_config(scheme: str, n_gpus: int = 4, otp_multiplier: int = 4) -> SystemConfig:
+    """Build the configuration for one of the paper's evaluated schemes.
+
+    ``scheme`` accepts the paper's names: ``unsecure``, ``private``,
+    ``shared``, ``cached``, ``dynamic``, and ``batching`` (= Dynamic +
+    metadata batching, the paper's "Ours").
+    """
+    if scheme == "batching":
+        return default_config(n_gpus, scheme="dynamic", batching=True,
+                              otp_multiplier=otp_multiplier)
+    return default_config(n_gpus, scheme=scheme, otp_multiplier=otp_multiplier)
+
+
+__all__ = [
+    "GpuConfig",
+    "LinkConfig",
+    "MetadataConfig",
+    "SecurityConfig",
+    "MigrationConfig",
+    "SystemConfig",
+    "default_config",
+    "scheme_config",
+]

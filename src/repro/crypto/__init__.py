@@ -1,0 +1,29 @@
+"""Functional cryptography substrate.
+
+The paper's secure channels rely on AES-GCM counter-mode authenticated
+encryption implemented in hardware engines.  The simulator models those
+engines' *timing*; this package implements the *function* — a from-scratch
+AES-128 block cipher, GHASH, AES-GCM, and the counter-mode one-time-pad
+construction — so the protocol layer can carry real ciphertext and MACs and
+tests can prove end-to-end confidentiality/integrity round-trips.
+
+Nothing here is intended to be side-channel safe or fast; it is a reference
+implementation validated against NIST test vectors.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.gcm import AESGCM, ghash
+from repro.crypto.counter_mode import OneTimePad, PadGenerator, make_seed
+from repro.crypto.mac import MessageMAC, batched_mac, truncate_mac
+
+__all__ = [
+    "AES128",
+    "AESGCM",
+    "ghash",
+    "OneTimePad",
+    "PadGenerator",
+    "make_seed",
+    "MessageMAC",
+    "batched_mac",
+    "truncate_mac",
+]

@@ -1,0 +1,98 @@
+"""Counter-mode one-time-pad construction used by the secure channels.
+
+The paper (Fig. 4) derives each pad from a *seed* combining the message
+counter (MsgCTR), the sender ID, and the receiver ID, encrypted under the
+session key that CPU and GPUs exchange at boot.  Two pads are derived per
+message: a 512-bit encryption pad (one 64 B cache block) and a 128-bit
+authentication pad.
+
+The *Shared* scheme's distinguishing property — seeds built *without* the
+receiver ID — is expressed with ``receiver_id=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES128
+
+BLOCK_BYTES = 64  # protected payload granularity (one cache block)
+ENC_PAD_BYTES = 64  # 512-bit encryption pad
+AUTH_PAD_BYTES = 16  # 128-bit authentication pad
+
+
+def make_seed(counter: int, sender_id: int, receiver_id: int | None) -> bytes:
+    """Build the 16-byte pad seed from (MsgCTR, senderID, receiverID).
+
+    ``receiver_id=None`` models the Shared scheme, which omits the receiver
+    from the seed so a single counter can serve all destinations.
+    """
+    if counter < 0:
+        raise ValueError("message counter must be non-negative")
+    recv = 0xFFFF if receiver_id is None else receiver_id
+    return (
+        counter.to_bytes(8, "big")
+        + sender_id.to_bytes(2, "big")
+        + recv.to_bytes(2, "big")
+        + b"\x00\x00\x00\x00"
+    )
+
+
+@dataclass(frozen=True)
+class OneTimePad:
+    """A pre-generated pad pair bound to one (counter, sender, receiver)."""
+
+    counter: int
+    sender_id: int
+    receiver_id: int | None
+    enc_pad: bytes
+    auth_pad: bytes
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """XOR the payload with the encryption pad (the 1-cycle operation)."""
+        if len(plaintext) > len(self.enc_pad):
+            raise ValueError(
+                f"payload of {len(plaintext)} bytes exceeds the {len(self.enc_pad)}-byte pad"
+            )
+        return bytes(p ^ k for p, k in zip(plaintext, self.enc_pad))
+
+    # decryption is the same XOR
+    decrypt = encrypt
+
+
+class PadGenerator:
+    """Derives :class:`OneTimePad` objects under a session key.
+
+    Each 64-byte encryption pad takes four AES blocks (counter-mode over the
+    seed with a 2-bit lane index folded into the last byte); the auth pad is
+    a fifth block with a distinct domain separator.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES128(key)
+
+    def generate(self, counter: int, sender_id: int, receiver_id: int | None) -> OneTimePad:
+        seed = make_seed(counter, sender_id, receiver_id)
+        lanes = []
+        for lane in range(ENC_PAD_BYTES // 16):
+            lane_seed = seed[:-1] + bytes([lane])
+            lanes.append(self._aes.encrypt_block(lane_seed))
+        auth_seed = seed[:-1] + bytes([0x80])
+        auth_pad = self._aes.encrypt_block(auth_seed)
+        return OneTimePad(
+            counter=counter,
+            sender_id=sender_id,
+            receiver_id=receiver_id,
+            enc_pad=b"".join(lanes),
+            auth_pad=auth_pad,
+        )
+
+
+__all__ = [
+    "BLOCK_BYTES",
+    "ENC_PAD_BYTES",
+    "AUTH_PAD_BYTES",
+    "OneTimePad",
+    "PadGenerator",
+    "make_seed",
+]

@@ -1,0 +1,178 @@
+"""Boot-time session-key establishment (§IV-A).
+
+The paper assumes "the CPU and GPUs exchange a key during the system boot"
+[34, 35, 36] under the remote-attestation umbrella of the TEE.  This module
+provides that substrate: finite-field Diffie-Hellman over RFC 3526 group 14
+(2048-bit MODP), with session keys derived from the shared secret via an
+AES-based one-way derivation (CBC-MAC style), one (pair, purpose) key per
+directed channel — so the encryption and authentication hierarchies of
+:mod:`repro.secure.protocol` can be rooted in an actual exchanged secret
+rather than a constant.
+
+As with the rest of the crypto substrate, this is a clear reference
+implementation, not a hardened one (no side-channel defenses; attestation
+itself — quote verification — is out of scope, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES128
+
+# RFC 3526, group 14: the 2048-bit MODP prime, constructed from its
+# definition  P = 2^2048 - 2^1984 - 1 + 2^64 * { [2^1918 pi] + 124476 }
+# rather than pasted — the binary digits of pi come from an exact integer
+# Machin-formula evaluation, so the constant is self-verifying.
+
+
+def _atan_inv_scaled(x: int, scale_bits: int) -> int:
+    """floor-accurate sum of (2^scale_bits) * atan(1/x), alternating series."""
+    scale = 1 << scale_bits
+    total = 0
+    k = 0
+    x2 = x * x
+    denom_power = x
+    while True:
+        term = scale // ((2 * k + 1) * denom_power)
+        if term == 0:
+            break
+        total += -term if k % 2 else term
+        k += 1
+        denom_power *= x2
+    return total
+
+
+def _pi_scaled(scale_bits: int) -> int:
+    """(2^scale_bits) * pi via Machin: pi = 16 atan(1/5) - 4 atan(1/239).
+
+    Evaluated with ~80 guard bits so the truncation error of the integer
+    series never reaches the returned precision.
+    """
+    guard = 80
+    work = scale_bits + guard
+    pi_work = 16 * _atan_inv_scaled(5, work) - 4 * _atan_inv_scaled(239, work)
+    return pi_work >> guard
+
+
+def _modp_2048() -> int:
+    pi_1918 = _pi_scaled(1918)
+    return (1 << 2048) - (1 << 1984) - 1 + (1 << 64) * (pi_1918 + 124476)
+
+
+P = _modp_2048()
+G = 2
+
+
+def is_probable_prime(n: int, witnesses: tuple[int, ...] = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)) -> bool:
+    """Deterministic-witness Miller-Rabin (sound for the sizes used here)."""
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13):
+        if n % small == 0:
+            return n == small
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class KeyShare:
+    """A party's public contribution."""
+
+    node_id: int
+    public: int
+
+
+class KeyExchange:
+    """One node's half of a Diffie-Hellman handshake.
+
+    The private exponent is injected (from the platform's entropy source in
+    a real system; tests pass fixed values for determinism).
+    """
+
+    def __init__(self, node_id: int, private_exponent: int) -> None:
+        if not 1 < private_exponent < P - 1:
+            raise ValueError("private exponent out of range")
+        self.node_id = node_id
+        self._private = private_exponent
+        self.public = pow(G, private_exponent, P)
+
+    def share(self) -> KeyShare:
+        return KeyShare(node_id=self.node_id, public=self.public)
+
+    def shared_secret(self, peer: KeyShare) -> bytes:
+        """The raw DH secret with ``peer``, as fixed-width bytes."""
+        if not 1 < peer.public < P - 1:
+            raise ValueError("degenerate peer public value")
+        secret = pow(peer.public, self._private, P)
+        return secret.to_bytes((P.bit_length() + 7) // 8, "big")
+
+
+def _compress(data: bytes) -> bytes:
+    """AES-CBC-MAC style one-way compression to 16 bytes."""
+    cipher = AES128(b"repro-kdf-fixed!")
+    state = bytes(16)
+    padded = data + b"\x80" + bytes((15 - len(data) % 16) % 16)
+    for i in range(0, len(padded), 16):
+        block = bytes(a ^ b for a, b in zip(state, padded[i : i + 16]))
+        state = cipher.encrypt_block(block)
+    return state
+
+
+def derive_key(shared_secret: bytes, sender: int, receiver: int, purpose: str) -> bytes:
+    """Derive one 16-byte session key bound to a channel and purpose.
+
+    ``purpose`` separates the encryption-pad key from the GHASH key so a
+    compromise of one never reveals the other (domain separation).
+    """
+    if sender == receiver:
+        raise ValueError("a channel needs two distinct endpoints")
+    label = f"{purpose}|{sender}->{receiver}".encode()
+    return _compress(_compress(shared_secret) + label)
+
+
+def establish_session(
+    a: KeyExchange, b: KeyExchange
+) -> tuple[dict[str, bytes], dict[str, bytes]]:
+    """Full handshake: both sides derive identical per-purpose keys.
+
+    Returns (a_keys, b_keys), each mapping ``"enc"``/``"mac"`` to the keys
+    for the a→b channel; a real deployment runs this once per pair at boot
+    under attestation.
+    """
+    secret_a = a.shared_secret(b.share())
+    secret_b = b.shared_secret(a.share())
+    if secret_a != secret_b:
+        raise RuntimeError("handshake failed: secrets disagree")
+    keys = {
+        "enc": derive_key(secret_a, a.node_id, b.node_id, "enc"),
+        "mac": derive_key(secret_a, a.node_id, b.node_id, "mac"),
+    }
+    return keys, dict(keys)
+
+
+__all__ = [
+    "KeyExchange",
+    "KeyShare",
+    "derive_key",
+    "establish_session",
+    "is_probable_prime",
+    "P",
+    "G",
+]

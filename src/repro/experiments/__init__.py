@@ -1,0 +1,27 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning a typed result object and
+``format_table(result)`` rendering the same rows/series the paper plots.
+The benchmarks in ``benchmarks/`` are thin wrappers over these.
+
+Experiment index (see DESIGN.md §4 for the full mapping):
+
+========  ====================================================
+Table I   ``table1_storage``      OTP storage vs entries
+Fig 8     ``fig08_otp_sensitivity``  Private, OTP 1x-16x
+Fig 9     ``fig09_prior_schemes``    Private/Shared/Cached
+Fig 10/22 ``fig10_otp_distribution`` hit/partial/miss split
+Fig 11    ``fig11_overhead_breakdown`` +SecureCommu / +Traffic
+Fig 12/23 ``fig12_traffic``          traffic ratios
+Fig 13/14 ``fig13_14_timelines``     communication timelines
+Fig 15/16 ``fig15_16_burstiness``    burst accumulation times
+Fig 21    ``fig21_main_result``      the headline comparison
+Fig 24/25 ``fig24_25_scaling``       8- and 16-GPU systems
+Fig 26    ``fig26_aes_latency``      AES-GCM latency sweep
+§IV-D     ``hw_overhead``            hardware cost accounting
+========  ====================================================
+"""
+
+from repro.experiments.common import ExperimentRunner, WorkloadResult, geometric_mean
+
+__all__ = ["ExperimentRunner", "WorkloadResult", "geometric_mean"]

@@ -1,0 +1,284 @@
+"""Ablation studies on the proposal's design choices.
+
+Beyond the paper's own sweeps (Figs 8/26), these isolate each knob the
+design fixes by fiat so its contribution is measurable:
+
+* ``batch_size_sweep``   — n ∈ {4..64}; the paper picks 16 from Fig. 15.
+* ``batch_timeout_sweep``— how long a partial batch may wait for company.
+* ``interval_sweep``     — the monitoring period T (Table III: 1000).
+* ``ewma_sweep``         — α/β update rates (Table III: 0.9 / 0.5).
+* ``ideal_bound``        — the Ideal (unbounded-pads) scheme, splitting
+  residual overhead into "pad misses" vs "metadata bandwidth": the gap
+  Ideal→unsecure is what only batching can recover, the gap scheme→Ideal
+  is what buffer management can.
+* ``migration_threshold_sweep`` — the access-counter threshold trading
+  direct-access traffic against bulk page moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.configs import LinkConfig, MetadataConfig, MigrationConfig, default_config
+from repro.experiments.common import ExperimentRunner, fmt, format_table, geometric_mean
+
+
+@dataclass
+class SweepResult:
+    """Average slowdown per swept value."""
+
+    parameter: str
+    n_gpus: int
+    averages: dict = field(default_factory=dict)  # value -> avg slowdown
+
+    def best(self):
+        return min(self.averages, key=self.averages.get)
+
+
+def _average_slowdown(runner: ExperimentRunner, config) -> float:
+    values = []
+    for spec in runner.workloads:
+        baseline = runner.baseline(spec)
+        values.append(runner.run(spec, config).slowdown_vs(baseline))
+    return geometric_mean(values)
+
+
+# ---------------------------------------------------------------------------
+# Batching knobs
+# ---------------------------------------------------------------------------
+def batch_size_sweep(
+    runner: ExperimentRunner | None = None,
+    sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> SweepResult:
+    runner = runner or ExperimentRunner()
+    result = SweepResult("batch_size", runner.n_gpus)
+    for n in sizes:
+        config = default_config(
+            runner.n_gpus, scheme="dynamic", batching=True, batch_size=n
+        )
+        result.averages[n] = _average_slowdown(runner, config)
+    return result
+
+
+def batch_timeout_sweep(
+    runner: ExperimentRunner | None = None,
+    timeouts: tuple[int, ...] = (40, 160, 640, 2560),
+) -> SweepResult:
+    runner = runner or ExperimentRunner()
+    result = SweepResult("batch_timeout", runner.n_gpus)
+    for t in timeouts:
+        config = default_config(
+            runner.n_gpus, scheme="dynamic", batching=True, batch_timeout=t
+        )
+        result.averages[t] = _average_slowdown(runner, config)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-allocator knobs
+# ---------------------------------------------------------------------------
+def interval_sweep(
+    runner: ExperimentRunner | None = None,
+    intervals: tuple[int, ...] = (250, 500, 1000, 2000, 4000),
+) -> SweepResult:
+    runner = runner or ExperimentRunner()
+    result = SweepResult("interval_T", runner.n_gpus)
+    for t in intervals:
+        config = default_config(runner.n_gpus, scheme="dynamic", interval=t)
+        result.averages[t] = _average_slowdown(runner, config)
+    return result
+
+
+def ewma_sweep(
+    runner: ExperimentRunner | None = None,
+    alphas: tuple[float, ...] = (0.5, 0.9),
+    betas: tuple[float, ...] = (0.25, 0.5, 0.9),
+) -> SweepResult:
+    runner = runner or ExperimentRunner()
+    result = SweepResult("alpha/beta", runner.n_gpus)
+    for alpha in alphas:
+        for beta in betas:
+            config = default_config(
+                runner.n_gpus, scheme="dynamic", alpha=alpha, beta=beta
+            )
+            result.averages[(alpha, beta)] = _average_slowdown(runner, config)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Bounds decomposition
+# ---------------------------------------------------------------------------
+@dataclass
+class IdealBoundResult:
+    n_gpus: int
+    # workload -> {"dynamic", "ideal", "ideal_batched"} -> slowdown
+    slowdowns: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def average(self, key: str) -> float:
+        return geometric_mean([v[key] for v in self.slowdowns.values()])
+
+
+def ideal_bound(runner: ExperimentRunner | None = None) -> IdealBoundResult:
+    runner = runner or ExperimentRunner()
+    configs = {
+        "dynamic": default_config(runner.n_gpus, scheme="dynamic"),
+        "ideal": default_config(runner.n_gpus, scheme="ideal"),
+        "ideal_batched": default_config(runner.n_gpus, scheme="ideal", batching=True),
+    }
+    result = IdealBoundResult(n_gpus=runner.n_gpus)
+    for wl in runner.sweep(configs):
+        result.slowdowns[wl.spec.abbr] = {k: wl.slowdown(k) for k in configs}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Migration policy
+# ---------------------------------------------------------------------------
+def migration_threshold_sweep(
+    runner: ExperimentRunner | None = None,
+    thresholds: tuple[int, ...] = (4, 8, 16, 32),
+) -> SweepResult:
+    runner = runner or ExperimentRunner()
+    result = SweepResult("migration_threshold", runner.n_gpus)
+    for threshold in thresholds:
+        config = replace(
+            default_config(runner.n_gpus, scheme="dynamic", batching=True),
+            migration=MigrationConfig(threshold=threshold),
+        )
+        result.averages[threshold] = _average_slowdown(runner, config)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fabric organization (beyond the paper: ring / switch alternatives)
+# ---------------------------------------------------------------------------
+def fabric_sweep(
+    runner: ExperimentRunner | None = None,
+    fabrics: tuple[str, ...] = ("p2p", "switch", "ring"),
+) -> SweepResult:
+    """Security overhead of Ours under different GPU-fabric organizations.
+
+    Each fabric is normalized to the *unsecure system on the same fabric*,
+    so the sweep isolates how fabric contention amplifies the security
+    costs (metadata bytes hurt most where links are shared).
+    """
+    runner = runner or ExperimentRunner()
+    result = SweepResult("fabric", runner.n_gpus)
+    for fabric in fabrics:
+        link = LinkConfig(fabric=fabric)
+        secured = replace(
+            default_config(runner.n_gpus, scheme="dynamic", batching=True), link=link
+        )
+        unsecured = replace(default_config(runner.n_gpus), link=link)
+        ratios = []
+        for spec in runner.workloads:
+            base = runner.run(spec, unsecured)
+            ratios.append(runner.run(spec, secured).slowdown_vs(base))
+        result.averages[fabric] = geometric_mean(ratios)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Protocol extensions beyond the paper
+# ---------------------------------------------------------------------------
+@dataclass
+class ExtensionsResult:
+    n_gpus: int
+    # key -> (avg slowdown, avg traffic ratio)
+    averages: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def extensions_study(runner: ExperimentRunner | None = None) -> ExtensionsResult:
+    """Cost/benefit of two optional protocol extensions.
+
+    * ``compressed_ctr``   — 2 B delta counters instead of 8 B MsgCTRs
+      (Common-Counters-style), stacking with batching;
+    * ``protect_requests`` — control messages also encrypted+authenticated
+      (the oblivious-communication direction of [34]), priced on top of
+      the paper's proposal.
+    """
+    runner = runner or ExperimentRunner()
+    base = default_config(runner.n_gpus, scheme="dynamic", batching=True)
+    compressed = replace(
+        base,
+        security=replace(
+            base.security, metadata=MetadataConfig(compressed_counters=True)
+        ),
+    )
+    protected = replace(base, security=replace(base.security, protect_requests=True))
+    configs = {
+        "ours": base,
+        "ours+compressed_ctr": compressed,
+        "ours+protect_requests": protected,
+    }
+    result = ExtensionsResult(n_gpus=runner.n_gpus)
+    sweep = runner.sweep(configs)
+    for key in configs:
+        result.averages[key] = (
+            geometric_mean([wl.slowdown(key) for wl in sweep]),
+            geometric_mean([wl.traffic_ratio(key) for wl in sweep]),
+        )
+    return result
+
+
+def format_extensions(result: ExtensionsResult) -> str:
+    rows = [
+        [key, fmt(slow), fmt(traffic)]
+        for key, (slow, traffic) in result.averages.items()
+    ]
+    return format_table(
+        f"Extensions: protocol variants beyond the paper ({result.n_gpus} GPUs)",
+        ["variant", "avg slowdown", "avg traffic"],
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+def format_sweep(result: SweepResult) -> str:
+    rows = [[str(value), fmt(avg)] for value, avg in result.averages.items()]
+    return format_table(
+        f"Ablation: {result.parameter} ({result.n_gpus} GPUs, avg slowdown)",
+        [result.parameter, "avg slowdown"],
+        rows,
+    )
+
+
+def format_ideal_bound(result: IdealBoundResult) -> str:
+    rows = [
+        [abbr, fmt(v["dynamic"]), fmt(v["ideal"]), fmt(v["ideal_batched"])]
+        for abbr, v in result.slowdowns.items()
+    ]
+    rows.append(
+        [
+            "average",
+            fmt(result.average("dynamic")),
+            fmt(result.average("ideal")),
+            fmt(result.average("ideal_batched")),
+        ]
+    )
+    return format_table(
+        f"Ablation: overhead decomposition ({result.n_gpus} GPUs) — "
+        "Ideal isolates the metadata-bandwidth floor",
+        ["workload", "Dynamic", "Ideal pads", "Ideal+batch"],
+        rows,
+    )
+
+
+__all__ = [
+    "SweepResult",
+    "IdealBoundResult",
+    "ExtensionsResult",
+    "extensions_study",
+    "format_extensions",
+    "batch_size_sweep",
+    "batch_timeout_sweep",
+    "interval_sweep",
+    "ewma_sweep",
+    "ideal_bound",
+    "fabric_sweep",
+    "migration_threshold_sweep",
+    "format_sweep",
+    "format_ideal_bound",
+]

@@ -1,0 +1,92 @@
+"""Terminal bar charts for experiment results.
+
+The reproduction is a text-first tool; these renderers make the figures
+readable at a glance in a terminal or a results file without any plotting
+dependency.  Used by ``repro-sim experiment`` output and the examples.
+"""
+
+from __future__ import annotations
+
+
+def hbar_chart(
+    title: str,
+    items: list[tuple[str, float]],
+    width: int = 48,
+    baseline: float | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of labeled values.
+
+    ``baseline`` draws a marker column (e.g. the unsecure 1.0 line) when it
+    falls inside the plotted range.
+    """
+    if not items:
+        raise ValueError("nothing to chart")
+    if width < 8:
+        raise ValueError("width too small to render bars")
+    values = [v for _, v in items]
+    lo = min(values)
+    hi = max(values)
+    if baseline is not None:
+        lo = min(lo, baseline)
+        hi = max(hi, baseline)
+    # zoom into the occupied range with a margin, so clustered values
+    # (e.g. slowdowns near 1.0) stay visually distinguishable
+    margin = (hi - lo) * 0.15 or abs(hi) * 0.05 or 1.0
+    lo -= margin
+    span = (hi - lo) or 1.0
+    label_w = max(len(label) for label, _ in items)
+
+    def column(value: float) -> int:
+        return round((value - lo) / span * (width - 1))
+
+    marker_col = column(baseline) if baseline is not None else None
+    lines = [title, "-" * len(title)]
+    for label, value in items:
+        filled = column(value)
+        bar = ["#" if i <= filled else " " for i in range(width)]
+        if marker_col is not None and bar[marker_col] == " ":
+            bar[marker_col] = "|"
+        lines.append(f"{label.ljust(label_w)}  {''.join(bar)} {fmt.format(value)}")
+    if baseline is not None:
+        lines.append(f"{''.ljust(label_w)}  ('|' marks {fmt.format(baseline)})")
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    title: str,
+    items: list[tuple[str, dict[str, float]]],
+    symbols: dict[str, str],
+    width: int = 40,
+) -> str:
+    """Stacked 100 % bars, e.g. the OTP hit/partial/miss decomposition.
+
+    Each item's parts must be fractions summing to ~1; ``symbols`` maps a
+    part name to its fill character.
+    """
+    if not items:
+        raise ValueError("nothing to chart")
+    label_w = max(len(label) for label, _ in items)
+    lines = [title, "-" * len(title)]
+    for label, parts in items:
+        total = sum(parts.values())
+        if total <= 0:
+            lines.append(f"{label.ljust(label_w)}  (no data)")
+            continue
+        bar = ""
+        used = 0
+        part_list = [(k, v) for k, v in parts.items() if k in symbols]
+        for idx, (part, value) in enumerate(part_list):
+            if idx == len(part_list) - 1:
+                cells = width - used  # last part absorbs rounding
+            else:
+                cells = round(value / total * width)
+            bar += symbols[part] * max(0, cells)
+            used += cells
+        lines.append(f"{label.ljust(label_w)}  [{bar[:width]}]")
+    legend = "  ".join(f"{sym}={name}" for name, sym in symbols.items())
+    lines.append(f"{''.ljust(label_w)}  {legend}")
+    return "\n".join(lines)
+
+
+__all__ = ["hbar_chart", "stacked_bar"]

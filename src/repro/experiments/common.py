@@ -1,0 +1,149 @@
+"""Shared infrastructure for the experiment harnesses.
+
+:class:`ExperimentRunner` runs (workload × configuration) simulations with
+memoization, so a sweep that reuses the unsecure baseline (every figure
+normalizes against it) only simulates it once per workload.  Formatting
+helpers render the paper-style text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configs import SystemConfig, scheme_config
+from repro.system import SimulationReport, run_workload
+from repro.workloads import WorkloadSpec, all_workloads
+
+
+def geometric_mean(values: list[float]) -> float:
+    """The paper reports averages of normalized times; geomean is the
+    appropriate aggregate for ratios."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+@dataclass
+class WorkloadResult:
+    """One workload's reports across the swept configurations."""
+
+    spec: WorkloadSpec
+    baseline: SimulationReport
+    by_config: dict[str, SimulationReport] = field(default_factory=dict)
+
+    def slowdown(self, config_key: str) -> float:
+        return self.by_config[config_key].slowdown_vs(self.baseline)
+
+    def traffic_ratio(self, config_key: str) -> float:
+        return self.by_config[config_key].traffic_ratio_vs(self.baseline)
+
+
+class ExperimentRunner:
+    """Runs and caches simulations for experiment sweeps."""
+
+    def __init__(
+        self,
+        n_gpus: int = 4,
+        seed: int = 1,
+        scale: float = 1.0,
+        workloads: list[WorkloadSpec] | None = None,
+    ) -> None:
+        self.n_gpus = n_gpus
+        self.seed = seed
+        self.scale = scale
+        self.workloads = workloads if workloads is not None else all_workloads()
+        self._cache: dict[tuple, SimulationReport] = {}
+
+    # ------------------------------------------------------------------
+    # Simulation with memoization
+    # ------------------------------------------------------------------
+    def run(self, spec: WorkloadSpec, config: SystemConfig) -> SimulationReport:
+        # SystemConfig is a tree of frozen dataclasses, so the whole
+        # configuration is hashable — any swept field invalidates the memo
+        key = (spec.name, self.seed, self.scale, config)
+        report = self._cache.get(key)
+        if report is None:
+            trace = spec.generate(
+                n_gpus=config.n_gpus, seed=self.seed, scale=self.scale
+            )
+            report = run_workload(config, trace)
+            self._cache[key] = report
+        return report
+
+    def baseline(self, spec: WorkloadSpec) -> SimulationReport:
+        return self.run(spec, scheme_config("unsecure", n_gpus=self.n_gpus))
+
+    def sweep(self, configs: dict[str, SystemConfig]) -> list[WorkloadResult]:
+        """Run every workload under every named configuration."""
+        results = []
+        for spec in self.workloads:
+            result = WorkloadResult(spec=spec, baseline=self.baseline(spec))
+            for key, config in configs.items():
+                result.by_config[key] = self.run(spec, config)
+            results.append(result)
+        return results
+
+
+def multi_seed_slowdowns(
+    configs: dict[str, SystemConfig],
+    seeds: tuple[int, ...] = (1, 2, 3),
+    n_gpus: int = 4,
+    scale: float = 1.0,
+    workloads: list[WorkloadSpec] | None = None,
+) -> dict[str, float]:
+    """Average slowdown per configuration across seeds and workloads.
+
+    Structural workloads are seed-deterministic, but the randomized ones
+    (pagerank, spmv) and the lane-jitter offsets vary; averaging across
+    seeds tightens the comparison of close configurations.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values: dict[str, list[float]] = {key: [] for key in configs}
+    for seed in seeds:
+        runner = ExperimentRunner(n_gpus=n_gpus, seed=seed, scale=scale, workloads=workloads)
+        for wl in runner.sweep(configs):
+            for key in configs:
+                values[key].append(wl.slowdown(key))
+    return {key: geometric_mean(vals) for key, vals in values.items()}
+
+
+# ---------------------------------------------------------------------------
+# Text-table rendering
+# ---------------------------------------------------------------------------
+def format_table(
+    title: str,
+    columns: list[str],
+    rows: list[list[str]],
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+__all__ = [
+    "ExperimentRunner",
+    "multi_seed_slowdowns",
+    "WorkloadResult",
+    "geometric_mean",
+    "format_table",
+    "fmt",
+]

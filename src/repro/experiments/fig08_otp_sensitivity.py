@@ -1,0 +1,60 @@
+"""Figure 8: Private-scheme sensitivity to the OTP buffer multiplier.
+
+Sweeps OTP 1x → 16x in a 4-GPU system and reports per-workload and average
+slowdowns vs the unsecure baseline.  The paper's anchors: OTP 1x degrades
+121.1 % on average; 16x degrades 14.0 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configs import scheme_config
+from repro.experiments.common import ExperimentRunner, fmt, format_table, geometric_mean
+
+MULTIPLIERS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class OtpSensitivityResult:
+    n_gpus: int
+    multipliers: tuple[int, ...]
+    slowdowns: dict[str, dict[int, float]] = field(default_factory=dict)  # workload -> Nx -> slowdown
+
+    def average(self, multiplier: int) -> float:
+        return geometric_mean([per_wl[multiplier] for per_wl in self.slowdowns.values()])
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    multipliers: tuple[int, ...] = MULTIPLIERS,
+) -> OtpSensitivityResult:
+    runner = runner or ExperimentRunner()
+    configs = {
+        f"private_{m}x": scheme_config("private", n_gpus=runner.n_gpus, otp_multiplier=m)
+        for m in multipliers
+    }
+    result = OtpSensitivityResult(n_gpus=runner.n_gpus, multipliers=multipliers)
+    for wl in runner.sweep(configs):
+        result.slowdowns[wl.spec.abbr] = {
+            m: wl.slowdown(f"private_{m}x") for m in multipliers
+        }
+    return result
+
+
+def format_result(result: OtpSensitivityResult) -> str:
+    columns = ["workload", *[f"OTP {m}x" for m in result.multipliers]]
+    rows = [
+        [abbr, *[fmt(per_wl[m]) for m in result.multipliers]]
+        for abbr, per_wl in result.slowdowns.items()
+    ]
+    rows.append(["average", *[fmt(result.average(m)) for m in result.multipliers]])
+    return format_table(
+        f"Figure 8: Private slowdown vs OTP entries ({result.n_gpus} GPUs, "
+        "normalized to unsecure)",
+        columns,
+        rows,
+    )
+
+
+__all__ = ["run", "format_result", "OtpSensitivityResult", "MULTIPLIERS"]

@@ -1,0 +1,100 @@
+"""Figures 13 and 14: communication-pattern timelines for one GPU.
+
+Fig. 13: the send-vs-receive split of GPU 1's messages over execution,
+per monitoring interval.  Fig. 14: the destination decomposition of GPU 1's
+sends over the same intervals.  Both are measured on the unsecure system
+running matrix multiplication, as in the paper's motivation study — the
+point is that the ratios drift over the run, which is what the Dynamic
+allocator exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configs import scheme_config
+from repro.experiments.common import ExperimentRunner, format_table
+from repro.workloads import get_workload
+
+
+@dataclass
+class TimelineResult:
+    workload: str
+    gpu: int
+    interval: int
+    n_buckets: int
+    send_fraction: list[float] = field(default_factory=list)  # Fig 13
+    dest_fractions: dict[str, list[float]] = field(default_factory=dict)  # Fig 14
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    workload: str = "matrixmultiplication",
+    gpu: int = 1,
+) -> TimelineResult:
+    runner = runner or ExperimentRunner()
+    spec = get_workload(workload)
+    report = runner.run(spec, scheme_config("unsecure", n_gpus=runner.n_gpus))
+    timeline = report.timelines[gpu]
+    n_buckets = timeline.n_buckets()
+    send = timeline.series("send", n_buckets)
+    recv = timeline.series("recv", n_buckets)
+    result = TimelineResult(
+        workload=spec.name, gpu=gpu, interval=timeline.interval, n_buckets=n_buckets
+    )
+    for s, r in zip(send, recv):
+        total = s + r
+        result.send_fraction.append(s / total if total else 0.0)
+    dest_channels = [c for c in timeline.channels() if c.startswith("to")]
+    dest_totals = [
+        sum(timeline.series(c, n_buckets)[i] for c in dest_channels)
+        for i in range(n_buckets)
+    ]
+    for chan in dest_channels:
+        series = timeline.series(chan, n_buckets)
+        result.dest_fractions[chan] = [
+            v / t if t else 0.0 for v, t in zip(series, dest_totals)
+        ]
+    return result
+
+
+def format_result(result: TimelineResult) -> str:
+    dests = sorted(result.dest_fractions)
+    rows = []
+    for i in range(result.n_buckets):
+        rows.append(
+            [
+                f"[{i * result.interval}, {(i + 1) * result.interval})",
+                f"{result.send_fraction[i]:.2f}",
+                *[f"{result.dest_fractions[d][i]:.2f}" for d in dests],
+            ]
+        )
+    labels = ["toCPU" if d == "to0" else f"toGPU{d[2:]}" for d in dests]
+    return format_table(
+        f"Figures 13/14: GPU {result.gpu} communication timeline, {result.workload} "
+        f"(unsecure, interval={result.interval} cycles)",
+        ["interval", "send frac", *labels],
+        rows,
+    )
+
+
+def pattern_drift(result: TimelineResult) -> float:
+    """Total variation of the destination mix across intervals.
+
+    The paper's observation is qualitative ("ratios change over the
+    execution"); this scalar quantifies it: the mean L1 distance between
+    consecutive intervals' destination distributions.
+    """
+    dests = sorted(result.dest_fractions)
+    if result.n_buckets < 2 or not dests:
+        return 0.0
+    drift = 0.0
+    for i in range(1, result.n_buckets):
+        drift += sum(
+            abs(result.dest_fractions[d][i] - result.dest_fractions[d][i - 1])
+            for d in dests
+        )
+    return drift / (result.n_buckets - 1)
+
+
+__all__ = ["run", "format_result", "pattern_drift", "TimelineResult"]

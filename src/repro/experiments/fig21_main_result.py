@@ -1,0 +1,81 @@
+"""Figure 21: the headline 4-GPU comparison.
+
+Private (OTP 4x), Private (OTP 16x), Cached (OTP 4x), Dynamic (OTP 4x),
+and Dynamic+Batching (OTP 4x), all normalized to the unsecure system.
+
+Paper anchors (average overheads): Private 4x 19.5 %, Private 16x 14.0 %,
+Cached 16.3 %, Dynamic 14.7 %, Batching 7.9 %.  The shapes that must hold:
+Batching < Dynamic < Private 4x, Batching < Private 16x (more buffers
+cannot fix the metadata bandwidth), and the worst workloads are the
+high-RPKI communication-bound ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configs import default_config, scheme_config
+from repro.experiments.common import ExperimentRunner, fmt, format_table, geometric_mean
+
+CONFIG_KEYS = ("private_4x", "private_16x", "cached_4x", "dynamic_4x", "batching_4x")
+
+
+@dataclass
+class MainResult:
+    n_gpus: int
+    slowdowns: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def average(self, key: str) -> float:
+        return geometric_mean([per_wl[key] for per_wl in self.slowdowns.values()])
+
+    def improvement_over(self, ours: str, prior: str) -> float:
+        """Average speedup of ``ours`` relative to ``prior`` (paper's
+        'performance improvement' metric)."""
+        return self.average(prior) / self.average(ours) - 1.0
+
+
+def build_configs(n_gpus: int) -> dict:
+    return {
+        "private_4x": scheme_config("private", n_gpus=n_gpus, otp_multiplier=4),
+        "private_16x": scheme_config("private", n_gpus=n_gpus, otp_multiplier=16),
+        "cached_4x": scheme_config("cached", n_gpus=n_gpus, otp_multiplier=4),
+        "dynamic_4x": scheme_config("dynamic", n_gpus=n_gpus, otp_multiplier=4),
+        "batching_4x": default_config(n_gpus, scheme="dynamic", batching=True),
+    }
+
+
+def run(runner: ExperimentRunner | None = None) -> MainResult:
+    runner = runner or ExperimentRunner()
+    result = MainResult(n_gpus=runner.n_gpus)
+    for wl in runner.sweep(build_configs(runner.n_gpus)):
+        result.slowdowns[wl.spec.abbr] = {k: wl.slowdown(k) for k in CONFIG_KEYS}
+    return result
+
+
+def format_result(result: MainResult) -> str:
+    rows = [
+        [abbr, *[fmt(per_wl[k]) for k in CONFIG_KEYS]]
+        for abbr, per_wl in result.slowdowns.items()
+    ]
+    rows.append(["average", *[fmt(result.average(k)) for k in CONFIG_KEYS]])
+    summary = (
+        f"Batching improves {result.improvement_over('batching_4x', 'private_4x'):+.1%} "
+        f"over Private 4x, {result.improvement_over('batching_4x', 'cached_4x'):+.1%} "
+        "over Cached 4x"
+    )
+    table = format_table(
+        f"Figure 21: execution time, {result.n_gpus} GPUs (normalized to unsecure)",
+        ["workload", "Priv 4x", "Priv 16x", "Cached 4x", "+Dynamic", "+Batching"],
+        rows,
+    )
+    from repro.experiments.ascii_chart import hbar_chart
+
+    chart = hbar_chart(
+        "average normalized execution time",
+        [(k, result.average(k)) for k in CONFIG_KEYS],
+        baseline=1.0,
+    )
+    return f"{table}\n{summary}\n\n{chart}"
+
+
+__all__ = ["run", "format_result", "build_configs", "MainResult", "CONFIG_KEYS"]

@@ -1,0 +1,70 @@
+"""Figures 24 and 25: scaling to 8- and 16-GPU systems.
+
+Private, Cached, and Ours (Dynamic + Batching) at OTP 4x — 64 OTP buffers
+per GPU at 8 GPUs, 128 at 16 GPUs, exactly the paper's §V-D provisioning —
+normalized to the unsecure system of the same size.
+
+Paper anchors: Ours improves 17.1 % / 9.2 % (8 GPUs) and 17.5 % / 13.2 %
+(16 GPUs) over Private / Cached; the improvement *grows* with GPU count.
+Our simulator reproduces the growth of both gaps; absolute overheads stay
+roughly flat instead of growing (see EXPERIMENTS.md for the deviation
+note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configs import default_config, scheme_config
+from repro.experiments.common import ExperimentRunner, fmt, format_table, geometric_mean
+
+SCHEME_KEYS = ("private", "cached", "ours")
+
+
+@dataclass
+class ScalingResult:
+    n_gpus: int
+    slowdowns: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def average(self, key: str) -> float:
+        return geometric_mean([per_wl[key] for per_wl in self.slowdowns.values()])
+
+    def improvement_over(self, prior: str) -> float:
+        return self.average(prior) / self.average("ours") - 1.0
+
+
+def run(n_gpus: int, runner: ExperimentRunner | None = None) -> ScalingResult:
+    runner = runner or ExperimentRunner(n_gpus=n_gpus)
+    if runner.n_gpus != n_gpus:
+        raise ValueError("runner's GPU count must match the experiment's")
+    configs = {
+        "private": scheme_config("private", n_gpus=n_gpus),
+        "cached": scheme_config("cached", n_gpus=n_gpus),
+        "ours": default_config(n_gpus, scheme="dynamic", batching=True),
+    }
+    result = ScalingResult(n_gpus=n_gpus)
+    for wl in runner.sweep(configs):
+        result.slowdowns[wl.spec.abbr] = {k: wl.slowdown(k) for k in SCHEME_KEYS}
+    return result
+
+
+def format_result(result: ScalingResult) -> str:
+    fig = {8: 24, 16: 25}.get(result.n_gpus, "24/25")
+    rows = [
+        [abbr, *[fmt(per_wl[k]) for k in SCHEME_KEYS]]
+        for abbr, per_wl in result.slowdowns.items()
+    ]
+    rows.append(["average", *[fmt(result.average(k)) for k in SCHEME_KEYS]])
+    table = format_table(
+        f"Figure {fig}: execution time, {result.n_gpus} GPUs (normalized to unsecure)",
+        ["workload", "Private", "Cached", "Ours"],
+        rows,
+    )
+    summary = (
+        f"Ours improves {result.improvement_over('private'):+.1%} over Private, "
+        f"{result.improvement_over('cached'):+.1%} over Cached"
+    )
+    return f"{table}\n{summary}"
+
+
+__all__ = ["run", "format_result", "ScalingResult", "SCHEME_KEYS"]

@@ -1,0 +1,70 @@
+"""§IV-D hardware overhead accounting.
+
+Analytic reproduction of the proposal's storage costs:
+
+* Dynamic monitoring: one 64-bit counter per (peer × direction) per GPU —
+  512 bits in the 4-GPU system (4 peers × 2 × 64 b).
+* OTP buffers (shared with Private): 0.69–11.02 KB per GPU at 1x–16x.
+* Batching MsgMAC storage: max(16, 64) MACs × peers × 8 B = 2 KB per GPU
+  in the 4-GPU system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.experiments.table1_storage import ENTRY_BITS, otp_entries_per_gpu
+
+
+@dataclass(frozen=True)
+class HwOverhead:
+    n_gpus: int
+    multiplier: int
+    monitor_counter_bits: int
+    otp_buffer_kib_per_gpu: float
+    msgmac_storage_kib_per_gpu: float
+
+    @property
+    def total_kib_per_gpu(self) -> float:
+        return (
+            self.monitor_counter_bits / 8 / 1024
+            + self.otp_buffer_kib_per_gpu
+            + self.msgmac_storage_kib_per_gpu
+        )
+
+
+def compute(n_gpus: int = 4, multiplier: int = 4, batch_sizes: tuple[int, int] = (16, 64)) -> HwOverhead:
+    peers = n_gpus  # (n-1) GPUs + CPU
+    monitor_bits = peers * 2 * 64
+    otp_kib = otp_entries_per_gpu(n_gpus, multiplier) * ENTRY_BITS / 8 / 1024
+    msgmac_kib = max(batch_sizes) * peers * 8 / 1024
+    return HwOverhead(
+        n_gpus=n_gpus,
+        multiplier=multiplier,
+        monitor_counter_bits=monitor_bits,
+        otp_buffer_kib_per_gpu=otp_kib,
+        msgmac_storage_kib_per_gpu=msgmac_kib,
+    )
+
+
+def format_result(overheads: list[HwOverhead]) -> str:
+    rows = [
+        [
+            f"{o.n_gpus} GPUs",
+            f"{o.multiplier}x",
+            f"{o.monitor_counter_bits} b",
+            f"{o.otp_buffer_kib_per_gpu:.2f} KB",
+            f"{o.msgmac_storage_kib_per_gpu:.2f} KB",
+            f"{o.total_kib_per_gpu:.2f} KB",
+        ]
+        for o in overheads
+    ]
+    return format_table(
+        "Hardware overhead per GPU (§IV-D)",
+        ["System", "OTP", "monitor ctrs", "OTP buffers", "MsgMAC store", "total"],
+        rows,
+    )
+
+
+__all__ = ["compute", "format_result", "HwOverhead"]

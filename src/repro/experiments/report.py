@@ -1,0 +1,90 @@
+"""Full evaluation report: regenerate every paper table/figure in one go.
+
+``generate_all`` runs the complete experiment suite — sharing one
+:class:`ExperimentRunner` per system size so baselines and overlapping
+configurations are simulated once — and writes each table to
+``out_dir/<name>.txt`` plus a combined ``report.txt``.
+
+Used by ``repro-sim experiment`` and by the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    fig08_otp_sensitivity,
+    fig09_prior_schemes,
+    fig10_otp_distribution,
+    fig11_overhead_breakdown,
+    fig12_traffic,
+    fig13_14_timelines,
+    fig15_16_burstiness,
+    fig21_main_result,
+    fig24_25_scaling,
+    fig26_aes_latency,
+    hw_overhead,
+    table1_storage,
+)
+from repro.experiments.common import ExperimentRunner
+
+
+def generate_all(
+    out_dir: str | Path,
+    scale: float = 0.5,
+    seed: int = 1,
+    include_scaling: bool = True,
+    verbose: bool = True,
+    workloads: list | None = None,
+) -> dict[str, str]:
+    """Run everything; returns {experiment name: formatted table}.
+
+    ``workloads`` restricts the sweep (default: all 17 of Table IV).
+    """
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    runner4 = ExperimentRunner(n_gpus=4, seed=seed, scale=scale, workloads=workloads)
+    sections: dict[str, str] = {}
+
+    def record(name: str, text: str) -> None:
+        sections[name] = text
+        (out_path / f"{name}.txt").write_text(text + "\n")
+        if verbose:
+            print(f"[{time.strftime('%H:%M:%S')}] {name} done", flush=True)
+
+    record("table1_storage", table1_storage.format_result(table1_storage.run()))
+    record(
+        "hw_overhead",
+        hw_overhead.format_result([hw_overhead.compute(4, m) for m in (1, 4, 16)]),
+    )
+    record(
+        "fig15_16_burstiness",
+        "\n\n".join(
+            fig15_16_burstiness.format_result(fig15_16_burstiness.run(runner4), g)
+            for g in (16, 32)
+        ),
+    )
+    record("fig13_14_timelines", fig13_14_timelines.format_result(fig13_14_timelines.run(runner4)))
+    record("fig08_otp_sensitivity", fig08_otp_sensitivity.format_result(fig08_otp_sensitivity.run(runner4)))
+    record("fig09_prior_schemes", fig09_prior_schemes.format_result(fig09_prior_schemes.run(runner4)))
+    record("fig11_overhead_breakdown", fig11_overhead_breakdown.format_result(fig11_overhead_breakdown.run(runner4)))
+    record("fig21_main_result", fig21_main_result.format_result(fig21_main_result.run(runner4)))
+    record("fig10_22_otp_distribution", fig10_otp_distribution.format_result(fig10_otp_distribution.run(runner4)))
+    record("fig12_23_traffic", fig12_traffic.format_result(fig12_traffic.run(runner4)))
+    record("fig26_aes_latency", fig26_aes_latency.format_result(fig26_aes_latency.run(runner4)))
+
+    if include_scaling:
+        for n in (8, 16):
+            runner = ExperimentRunner(n_gpus=n, seed=seed, scale=scale, workloads=workloads)
+            record(
+                f"fig{24 if n == 8 else 25}_scaling_{n}gpus",
+                fig24_25_scaling.format_result(fig24_25_scaling.run(n, runner)),
+            )
+
+    combined = "\n\n\n".join(sections[k] for k in sections)
+    (out_path / "report.txt").write_text(combined + "\n")
+    return sections
+
+
+__all__ = ["generate_all"]

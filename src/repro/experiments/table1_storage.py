@@ -1,0 +1,85 @@
+"""Table I: on-chip storage overhead of the Private scheme.
+
+Analytic reproduction.  An OTP buffer entry is (§IV-D):
+valid bit (1) + encryption pad (512) + authentication pad (128) +
+counter (64) = 705 bits.  A system of ``n`` GPUs has ``n`` processors'
+tables on the GPU side, each with ``peers × 2 directions × multiplier``
+entries, where peers = (n - 1) GPUs + 1 CPU = n.
+
+Table I reports, per system size and OTP Nx: total storage (KB, across all
+GPUs) and total entry count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+
+ENTRY_BITS = 1 + 512 + 128 + 64  # valid + enc pad + auth pad + counter
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    n_gpus: int
+    multiplier: int
+    total_entries: int
+    total_kib: float
+    per_gpu_kib: float
+
+
+def otp_entries_per_gpu(n_gpus: int, multiplier: int) -> int:
+    """peers x 2 directions x N entries (peers include the CPU)."""
+    peers = n_gpus  # (n_gpus - 1) other GPUs + 1 CPU
+    return peers * 2 * multiplier
+
+
+def storage_row(n_gpus: int, multiplier: int) -> StorageRow:
+    per_gpu_entries = otp_entries_per_gpu(n_gpus, multiplier)
+    total_entries = per_gpu_entries * n_gpus
+    total_bits = total_entries * ENTRY_BITS
+    total_kib = total_bits / 8 / 1024
+    return StorageRow(
+        n_gpus=n_gpus,
+        multiplier=multiplier,
+        total_entries=total_entries,
+        total_kib=total_kib,
+        per_gpu_kib=total_kib / n_gpus,
+    )
+
+
+def run(
+    gpu_counts: tuple[int, ...] = (4, 8, 16, 32),
+    multipliers: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> list[StorageRow]:
+    return [storage_row(n, m) for n in gpu_counts for m in multipliers]
+
+
+def format_result(rows: list[StorageRow]) -> str:
+    table_rows = [
+        [
+            f"{r.n_gpus} GPUs",
+            f"{r.multiplier}x",
+            f"{r.total_kib:.2f} KB",
+            f"{r.total_entries} OTPs",
+            f"{r.per_gpu_kib:.2f} KB/GPU",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Table I: Private-scheme on-chip storage overhead",
+        ["System", "OTP config", "Storage", "# of OTPs", "Per GPU"],
+        table_rows,
+    )
+
+
+#: Paper's Table I anchor points for validation (storage KB, OTP count).
+PAPER_VALUES = {
+    (4, 1): (2.75, 32),
+    (4, 16): (44.06, 512),
+    (16, 1): (44.06, 512),
+    (32, 16): (2820.0, 32768),
+}
+
+
+__all__ = ["run", "format_result", "storage_row", "otp_entries_per_gpu", "StorageRow", "ENTRY_BITS", "PAPER_VALUES"]

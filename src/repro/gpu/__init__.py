@@ -1,0 +1,29 @@
+"""GPU and host-CPU device models.
+
+Each GPU is trace-driven: compute-unit lanes replay generated memory-access
+streams through L1/L2 TLBs and caches; misses to remote pages become secure
+interconnect transactions.  The model keeps the knobs the paper's results
+hinge on — bounded outstanding requests, bursty multi-lane issue, cache
+filtering, page migration — and abstracts instruction execution into
+inter-access gap cycles.
+"""
+
+from repro.gpu.cache import CacheStats, SetAssociativeCache
+from repro.gpu.tlb import Tlb, TlbHierarchy
+from repro.gpu.hbm import HbmModel
+from repro.gpu.compute_unit import ComputeUnitLane, LaneState
+from repro.gpu.gpu import GpuDevice
+from repro.gpu.cpu import HostCpu, Iommu
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "Tlb",
+    "TlbHierarchy",
+    "HbmModel",
+    "ComputeUnitLane",
+    "LaneState",
+    "GpuDevice",
+    "HostCpu",
+    "Iommu",
+]

@@ -1,0 +1,93 @@
+"""Compute-unit lane: the unit of trace replay inside a GPU.
+
+A lane models a group of compute units executing one stream of the kernel.
+It advances through its access list; each access becomes eligible ``gap``
+cycles after the previous one was issued.  Latency hiding is modeled by the
+lane *not* blocking on individual loads — instead a per-lane cap on
+outstanding remote requests (wavefront-dependency pressure) plus the GPU's
+global window bound how far it can run ahead.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.workloads.base import Access, LaneTrace
+
+
+class LaneState(Enum):
+    READY = "ready"  # next access eligible now
+    WAITING = "waiting"  # gap not yet elapsed
+    BLOCKED = "blocked"  # at its outstanding-request cap
+    DONE = "done"  # trace exhausted
+
+
+class ComputeUnitLane:
+    """Replay state for one lane trace."""
+
+    def __init__(self, lane_id: int, trace: LaneTrace, max_outstanding: int = 4) -> None:
+        if max_outstanding < 1:
+            raise ValueError("lane needs at least one outstanding slot")
+        self.lane_id = lane_id
+        self.trace = trace
+        self.max_outstanding = max_outstanding
+        self.index = 0
+        self.ready_at = trace[0].gap if trace else 0
+        self.outstanding = 0
+        self.issued = 0
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.index >= len(self.trace)
+
+    @property
+    def drained(self) -> bool:
+        """Trace exhausted and every issued request completed."""
+        return self.finished and self.outstanding == 0
+
+    def state(self, now: int) -> LaneState:
+        if self.finished:
+            return LaneState.DONE
+        if self.outstanding >= self.max_outstanding:
+            return LaneState.BLOCKED
+        if now < self.ready_at:
+            return LaneState.WAITING
+        return LaneState.READY
+
+    def peek(self) -> Access:
+        if self.finished:
+            raise IndexError(f"lane {self.lane_id} is exhausted")
+        return self.trace[self.index]
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def issue(self, now: int, consumes_slot: bool) -> Access:
+        """Issue the next access at cycle ``now``.
+
+        ``consumes_slot`` is True for accesses that stay outstanding
+        (remote misses); cache hits and local accesses complete immediately
+        from the lane's point of view.
+        """
+        if self.state(now) is not LaneState.READY:
+            raise RuntimeError(f"lane {self.lane_id} not ready at {now}")
+        access = self.trace[self.index]
+        self.index += 1
+        self.issued += 1
+        if consumes_slot:
+            self.outstanding += 1
+        if not self.finished:
+            self.ready_at = now + self.trace[self.index].gap
+        return access
+
+    def complete(self) -> None:
+        """A previously issued outstanding access finished."""
+        if self.outstanding <= 0:
+            raise RuntimeError(f"lane {self.lane_id} has nothing outstanding")
+        self.outstanding -= 1
+
+
+__all__ = ["ComputeUnitLane", "LaneState"]

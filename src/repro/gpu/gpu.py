@@ -1,0 +1,431 @@
+"""Trace-driven GPU device model.
+
+The device replays compute-unit lane traces through its TLB and cache
+hierarchy.  Accesses that miss the caches are served from local HBM or, for
+pages owned by another processor, become interconnect transactions routed
+through the configured transport (which may be an unsecure fabric or a
+secure channel layer).  An access-counter migration policy can instead pull
+the whole page over (§II-A/V-A).
+
+Progress throttling — the property that makes added communication latency
+and bandwidth show up as end-to-end slowdown — comes from two windows:
+a per-lane outstanding cap (wavefront dependencies) and a GPU-wide
+outstanding-request window (MSHR capacity).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.configs import GpuConfig, MigrationConfig
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.compute_unit import ComputeUnitLane, LaneState
+from repro.interconnect.arbiter import RoundRobinArbiter
+from repro.gpu.hbm import HbmModel
+from repro.gpu.tlb import TlbHierarchy
+from repro.interconnect.packet import Packet, PacketKind
+from repro.memory.address_space import (
+    BLOCK_BYTES,
+    BLOCKS_PER_PAGE,
+    PAGE_BYTES,
+    block_of,
+    page_of,
+)
+from repro.memory.directory import BlockDirectory
+from repro.memory.migration import AccessCounterMigrationPolicy, MigrationDecision
+from repro.memory.page_table import PageTable
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.transport import MessageTransport
+from repro.workloads.base import Access, GpuTrace
+
+_txn_ids = itertools.count(1)
+
+
+class GpuDevice:
+    """One GPU node: lanes, caches, HBM, and remote-transaction logic."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        cfg: GpuConfig,
+        transport: MessageTransport,
+        page_table: PageTable,
+        migration_policy: AccessCounterMigrationPolicy,
+        migration_cfg: MigrationConfig,
+        on_migration_commit: Callable[[int, int, int], None] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.cfg = cfg
+        self.transport = transport
+        self.page_table = page_table
+        self.migration_policy = migration_policy
+        self.migration_cfg = migration_cfg
+        self.on_migration_commit = on_migration_commit or (lambda page, old, new: None)
+
+        self.hbm = HbmModel(f"gpu{node_id}.hbm", cfg.hbm_latency, cfg.hbm_bytes_per_cycle)
+        self.tlbs = TlbHierarchy(f"gpu{node_id}", cfg.l1_tlb_entries, cfg.l2_tlb_entries)
+        self.l2 = SetAssociativeCache(f"gpu{node_id}.l2", cfg.l2_size, cfg.l2_assoc)
+        self.l1s: list[SetAssociativeCache] = []
+        self.lanes: list[ComputeUnitLane] = []
+        self.directory = BlockDirectory()
+
+        self.outstanding = 0  # GPU-wide remote window occupancy
+        self._pending: dict[int, dict] = {}  # txn id -> context
+        self._migrating: dict[int, dict] = {}  # page -> in-flight migration state
+        self._wakeup = None
+        self.finish_cycle: int | None = None
+        self.instructions = 0
+
+        self.stats = StatsRegistry(f"gpu{node_id}")
+        self._remote_reads = self.stats.counter("remote_reads")
+        self._remote_writes = self.stats.counter("remote_writes")
+        self._local_accesses = self.stats.counter("local_accesses")
+        self._cache_hits = self.stats.counter("cache_hits")
+        self._migrations_started = self.stats.counter("migrations_started")
+        self._served_requests = self.stats.counter("served_requests")
+
+        transport.register(node_id, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def load_trace(self, trace: GpuTrace) -> None:
+        """Install the workload's lane traces for this GPU."""
+        if self.lanes:
+            raise RuntimeError(f"gpu{self.node_id} already has a trace loaded")
+        self.instructions = trace.instructions
+        for lane_id, lane_trace in enumerate(trace.lanes):
+            self.lanes.append(
+                ComputeUnitLane(lane_id, lane_trace, self.cfg.lane_outstanding)
+            )
+            self.l1s.append(
+                SetAssociativeCache(
+                    f"gpu{self.node_id}.l1.{lane_id}", self.cfg.l1_size, self.cfg.l1_assoc
+                )
+            )
+        self._arbiter = RoundRobinArbiter(range(len(self.lanes)))
+
+    def start(self) -> None:
+        self.sim.schedule(0, self._pump)
+
+    # ------------------------------------------------------------------
+    # Issue pump
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        now = self.sim.now
+        while self.outstanding < self.cfg.max_outstanding:
+            ready = [
+                lane.lane_id for lane in self.lanes if lane.state(now) is LaneState.READY
+            ]
+            if not ready:
+                break
+            # wavefront schedulers grant issue slots fairly; without
+            # rotation, low-numbered lanes would monopolize the window
+            winner = self._arbiter.grant(ready)
+            self._handle_access(self.lanes[winner], now)
+        self._schedule_wakeup(now)
+        self._check_finished(now)
+
+    def _schedule_wakeup(self, now: int) -> None:
+        next_time: int | None = None
+        for lane in self.lanes:
+            if lane.state(now) is LaneState.WAITING:
+                if next_time is None or lane.ready_at < next_time:
+                    next_time = lane.ready_at
+        if next_time is None:
+            return
+        # an existing wakeup only counts if it is still in the future
+        if (
+            self._wakeup is not None
+            and not self._wakeup.cancelled
+            and self._wakeup.time > now
+        ):
+            if self._wakeup.time <= next_time:
+                return
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule_at(next_time, self._pump)
+
+    def _check_finished(self, now: int) -> None:
+        if self.finish_cycle is None and self.lanes and all(l.drained for l in self.lanes):
+            self.finish_cycle = now
+
+    # ------------------------------------------------------------------
+    # Access classification
+    # ------------------------------------------------------------------
+    def _handle_access(self, lane: ComputeUnitLane, now: int) -> None:
+        access = lane.peek()
+        _, needs_walk = self.tlbs.translate(access.address)
+        if needs_walk:
+            # The IOMMU walk round-trip stalls this access; the lane slot is
+            # held so dependent work backs up behind the walk.
+            lane.issue(now, consumes_slot=True)
+            self.sim.schedule(
+                self.cfg.iommu_walk_cycles,
+                lambda l=lane, a=access: self._post_translation(l, a),
+            )
+            return
+        lane.issue(now, consumes_slot=False)
+        self._access_memory(lane, access, slot_held=False)
+
+    def _post_translation(self, lane: ComputeUnitLane, access: Access) -> None:
+        self._access_memory(lane, access, slot_held=True)
+
+    def _access_memory(self, lane: ComputeUnitLane, access: Access, slot_held: bool) -> None:
+        """Cache lookup and routing.  ``slot_held`` = lane slot already taken."""
+        addr = access.address
+        l1 = self.l1s[lane.lane_id]
+        if not access.is_write and l1.lookup(addr):
+            self._cache_hits.add()
+            self._finish_access(lane, slot_held)
+            return
+        if not access.is_write and self.l2.lookup(addr):
+            self._cache_hits.add()
+            l1.fill(addr)
+            self._finish_access(lane, slot_held)
+            return
+
+        page = page_of(addr)
+        owner = self.page_table.owner(page)
+        if owner == self.node_id:
+            self._local_access(lane, access, slot_held)
+        else:
+            self._remote_access(lane, access, owner, slot_held)
+
+    def _finish_access(self, lane: ComputeUnitLane, slot_held: bool) -> None:
+        if slot_held:
+            lane.complete()
+            self._pump()
+
+    def _hold_slot(self, lane: ComputeUnitLane, slot_held: bool) -> None:
+        """Ensure the lane slot is occupied for an in-flight access."""
+        if not slot_held:
+            lane.outstanding += 1
+
+    # ------------------------------------------------------------------
+    # Local path
+    # ------------------------------------------------------------------
+    def _local_access(self, lane: ComputeUnitLane, access: Access, slot_held: bool) -> None:
+        self._local_accesses.add()
+        done = self.hbm.access(self.sim.now, BLOCK_BYTES)
+        if access.is_write:
+            # Local writes retire without stalling the lane.
+            self._finish_access(lane, slot_held)
+            return
+        self._hold_slot(lane, slot_held)
+        self.sim.schedule_at(
+            done, lambda l=lane, a=access.address: self._local_read_done(l, a)
+        )
+
+    def _local_read_done(self, lane: ComputeUnitLane, addr: int) -> None:
+        self.l2.fill(addr)
+        self.l1s[lane.lane_id].fill(addr)
+        lane.complete()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Remote path
+    # ------------------------------------------------------------------
+    def _remote_access(
+        self, lane: ComputeUnitLane, access: Access, owner: int, slot_held: bool
+    ) -> None:
+        page = page_of(access.address)
+        decision = self.migration_policy.on_remote_access(page, self.node_id)
+        if decision is MigrationDecision.MIGRATE and page not in self._migrating:
+            self._start_migration(page, owner)
+
+        self._hold_slot(lane, slot_held)
+        if access.is_write:
+            self._remote_write(lane, access, owner)
+        else:
+            self._remote_read(lane, access, owner)
+
+    def _remote_read(self, lane: ComputeUnitLane, access: Access, owner: int) -> None:
+        addr = access.address
+        block = block_of(addr)
+        must_issue = self.directory.request(
+            self.node_id, block, lambda _t, l=lane, a=addr: self._remote_read_done(l, a)
+        )
+        if not must_issue:
+            return  # merged into an in-flight fetch
+        self._remote_reads.add()
+        self.outstanding += 1
+        txn = next(_txn_ids)
+        self._pending[txn] = {"block": block, "kind": "read"}
+        packet = Packet(
+            kind=PacketKind.READ_REQ,
+            src=self.node_id,
+            dst=owner,
+            size_bytes=self.cfg_request_bytes(),
+            txn_id=txn,
+            address=addr,
+        )
+        self.transport.send(packet, self.sim.now)
+
+    def _remote_read_done(self, lane: ComputeUnitLane, addr: int) -> None:
+        self.l1s[lane.lane_id].fill(addr)
+        lane.complete()
+        self._pump()
+
+    def _remote_write(self, lane: ComputeUnitLane, access: Access, owner: int) -> None:
+        self._remote_writes.add()
+        self.outstanding += 1
+        txn = next(_txn_ids)
+        self._pending[txn] = {"kind": "write", "lane": lane}
+        packet = Packet(
+            kind=PacketKind.WRITE_REQ,
+            src=self.node_id,
+            dst=owner,
+            size_bytes=self.cfg_request_bytes() + BLOCK_BYTES,
+            txn_id=txn,
+            address=access.address,
+        )
+        self.transport.send(packet, self.sim.now)
+
+    def cfg_request_bytes(self) -> int:
+        return 16  # request header; security metadata is added by the transport
+
+    # ------------------------------------------------------------------
+    # Page migration (requester side)
+    # ------------------------------------------------------------------
+    def _start_migration(self, page: int, owner: int) -> None:
+        self._migrations_started.add()
+        self._migrating[page] = {"received": 0, "owner": owner}
+        txn = next(_txn_ids)
+        self._pending[txn] = {"kind": "migration_req", "page": page}
+        packet = Packet(
+            kind=PacketKind.MIGRATION_REQ,
+            src=self.node_id,
+            dst=owner,
+            size_bytes=self.cfg_request_bytes(),
+            txn_id=txn,
+            address=page * PAGE_BYTES,
+        )
+        self.transport.send(packet, self.sim.now)
+
+    def _migration_block_arrived(self, page: int) -> None:
+        state = self._migrating.get(page)
+        if state is None:
+            return
+        state["received"] += 1
+        if state["received"] >= BLOCKS_PER_PAGE:
+            commit_delay = (
+                self.migration_cfg.driver_cycles + self.migration_cfg.shootdown_cycles
+            )
+            self.sim.schedule(commit_delay, lambda p=page: self._commit_migration(p))
+
+    def _commit_migration(self, page: int) -> None:
+        state = self._migrating.pop(page, None)
+        if state is None:
+            return
+        old_owner = self.migration_policy.commit_migration(page, self.node_id)
+        self.on_migration_commit(page, old_owner, self.node_id)
+
+    def invalidate_page(self, page: int) -> None:
+        """Migration shootdown against this device's TLBs and caches."""
+        self.tlbs.shootdown(page)
+        base = page * PAGE_BYTES
+        self.l2.invalidate_page(base, PAGE_BYTES)
+        for l1 in self.l1s:
+            l1.invalidate_page(base, PAGE_BYTES)
+
+    # ------------------------------------------------------------------
+    # Message handling (both requester and server roles)
+    # ------------------------------------------------------------------
+    def _on_message(self, packet: Packet, now: int) -> None:
+        kind = packet.kind
+        if kind is PacketKind.READ_REQ:
+            self._serve_read(packet)
+        elif kind is PacketKind.WRITE_REQ:
+            self._serve_write(packet)
+        elif kind is PacketKind.MIGRATION_REQ:
+            self._serve_migration(packet)
+        elif kind is PacketKind.DATA_RESP:
+            self._complete_read(packet, now)
+        elif kind is PacketKind.WRITE_ACK:
+            self._complete_write(packet)
+        elif kind is PacketKind.MIGRATION_DATA:
+            self._migration_block_arrived(page_of(packet.address))
+        else:
+            raise ValueError(f"gpu{self.node_id}: unexpected packet kind {kind}")
+
+    def _serve_read(self, packet: Packet) -> None:
+        self._served_requests.add()
+        done = self.hbm.access(self.sim.now, BLOCK_BYTES)
+        response = Packet(
+            kind=PacketKind.DATA_RESP,
+            src=self.node_id,
+            dst=packet.src,
+            size_bytes=16 + BLOCK_BYTES,
+            txn_id=packet.txn_id,
+            address=packet.address,
+        )
+        self.sim.schedule_at(done, lambda p=response: self.transport.send(p, self.sim.now))
+
+    def _serve_write(self, packet: Packet) -> None:
+        self._served_requests.add()
+        done = self.hbm.access(self.sim.now, BLOCK_BYTES)
+        ack = Packet(
+            kind=PacketKind.WRITE_ACK,
+            src=self.node_id,
+            dst=packet.src,
+            size_bytes=16,
+            txn_id=packet.txn_id,
+            address=packet.address,
+        )
+        self.sim.schedule_at(done, lambda p=ack: self.transport.send(p, self.sim.now))
+
+    def _serve_migration(self, packet: Packet) -> None:
+        """Stream the whole page to the requester as 64 block packets."""
+        self._served_requests.add()
+        page_base = page_of(packet.address) * PAGE_BYTES
+        done = self.hbm.access(self.sim.now, PAGE_BYTES)
+
+        def stream(requester=packet.src, base=page_base):
+            for i in range(BLOCKS_PER_PAGE):
+                block_packet = Packet(
+                    kind=PacketKind.MIGRATION_DATA,
+                    src=self.node_id,
+                    dst=requester,
+                    size_bytes=16 + BLOCK_BYTES,
+                    address=base + i * BLOCK_BYTES,
+                )
+                self.transport.send(block_packet, self.sim.now)
+
+        self.sim.schedule_at(done, stream)
+
+    def _complete_read(self, packet: Packet, now: int) -> None:
+        ctx = self._pending.pop(packet.txn_id, None)
+        if ctx is None or ctx["kind"] != "read":
+            raise ValueError(f"gpu{self.node_id}: stray DATA_RESP txn {packet.txn_id}")
+        self.outstanding -= 1
+        self.l2.fill(packet.address)
+        self.directory.complete(self.node_id, ctx["block"], now)
+        self._pump()
+
+    def _complete_write(self, packet: Packet) -> None:
+        ctx = self._pending.pop(packet.txn_id, None)
+        if ctx is None or ctx["kind"] != "write":
+            raise ValueError(f"gpu{self.node_id}: stray WRITE_ACK txn {packet.txn_id}")
+        self.outstanding -= 1
+        ctx["lane"].complete()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def remote_requests(self) -> int:
+        return int(self._remote_reads.value + self._remote_writes.value)
+
+    def rpki(self) -> float:
+        """Remote requests per kilo-instruction (Table IV's metric)."""
+        if not self.instructions:
+            return 0.0
+        return self.remote_requests / (self.instructions / 1000.0)
+
+
+__all__ = ["GpuDevice"]

@@ -1,0 +1,94 @@
+"""Per-GPU TLB hierarchy with IOMMU fallback.
+
+Table III's organization: each CU has a private L1 TLB, a shared L2 TLB per
+GPU, and misses walk to the CPU-side IOMMU (over PCIe).  The model is
+fully-associative LRU on page numbers and returns the extra translation
+cycles an access pays; shootdowns on migration invalidate entries.
+"""
+
+from __future__ import annotations
+
+from repro.memory.address_space import page_of
+
+
+class Tlb:
+    """Fully-associative LRU TLB over page numbers."""
+
+    def __init__(self, name: str, n_entries: int) -> None:
+        if n_entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.name = name
+        self.n_entries = n_entries
+        self._entries: dict[int, int] = {}
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, page: int) -> bool:
+        self._stamp += 1
+        if page in self._entries:
+            self._entries[page] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, page: int) -> None:
+        self._stamp += 1
+        if page not in self._entries and len(self._entries) >= self.n_entries:
+            victim = min(self._entries, key=self._entries.get)
+            del self._entries[victim]
+        self._entries[page] = self._stamp
+
+    def invalidate(self, page: int) -> bool:
+        return self._entries.pop(page, None) is not None
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+
+class TlbHierarchy:
+    """L1 + L2 TLB with cycle costs; the IOMMU walk cost is charged by the caller.
+
+    ``translate`` returns the translation delay in cycles and whether an
+    IOMMU walk is required (the walk's interconnect round trip is modeled by
+    the caller since it crosses the PCIe link).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        l1_entries: int = 64,
+        l2_entries: int = 1024,
+        l1_latency: int = 1,
+        l2_latency: int = 10,
+    ) -> None:
+        self.l1 = Tlb(f"{name}.l1tlb", l1_entries)
+        self.l2 = Tlb(f"{name}.l2tlb", l2_entries)
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.iommu_walks = 0
+
+    def translate(self, address: int) -> tuple[int, bool]:
+        """Return ``(delay_cycles, needs_iommu_walk)`` for ``address``."""
+        page = page_of(address)
+        if self.l1.lookup(page):
+            return self.l1_latency, False
+        if self.l2.lookup(page):
+            self.l1.fill(page)
+            return self.l1_latency + self.l2_latency, False
+        self.iommu_walks += 1
+        self.l2.fill(page)
+        self.l1.fill(page)
+        return self.l1_latency + self.l2_latency, True
+
+    def shootdown(self, page: int) -> None:
+        """Invalidate one page's translation (migration shootdown)."""
+        self.l1.invalidate(page)
+        self.l2.invalidate(page)
+
+
+__all__ = ["Tlb", "TlbHierarchy"]

@@ -1,0 +1,70 @@
+"""Packet definitions for inter-processor messages.
+
+A packet's ``size_bytes`` is everything that occupies link bandwidth:
+header + payload + any security metadata the active scheme attaches.
+Security metadata is accounted separately in ``meta_bytes`` so the traffic
+breakdown figures (Figs 12/23) can split base traffic from metadata traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class PacketKind(Enum):
+    """Message classes crossing the interconnect."""
+
+    READ_REQ = "read_req"  # block read request
+    WRITE_REQ = "write_req"  # block write (carries data)
+    DATA_RESP = "data_resp"  # block data response
+    WRITE_ACK = "write_ack"  # completion of a remote write
+    SEC_ACK = "sec_ack"  # replay-protection acknowledgement
+    BATCH_MAC = "batch_mac"  # standalone batched MsgMAC (timeout close)
+    MIGRATION_REQ = "migration_req"  # ask a page's owner to migrate it
+    MIGRATION_DATA = "migration_data"  # one block of a 4 KB page migration
+    TLB_WALK = "tlb_walk"  # IOMMU page-walk request/response
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (
+            PacketKind.WRITE_REQ,
+            PacketKind.DATA_RESP,
+            PacketKind.MIGRATION_DATA,
+        )
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One message on a link."""
+
+    kind: PacketKind
+    src: int
+    dst: int
+    size_bytes: int
+    meta_bytes: int = 0
+    txn_id: int = -1
+    address: int = -1
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+        if self.meta_bytes < 0 or self.meta_bytes > self.size_bytes:
+            raise ValueError(
+                f"meta_bytes {self.meta_bytes} must lie within size_bytes {self.size_bytes}"
+            )
+        if self.src == self.dst:
+            raise ValueError("packet source and destination must differ")
+
+    @property
+    def base_bytes(self) -> int:
+        """Bytes the unsecure system would also have sent."""
+        return self.size_bytes - self.meta_bytes
+
+
+__all__ = ["Packet", "PacketKind"]

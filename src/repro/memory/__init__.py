@@ -1,0 +1,37 @@
+"""Unified-memory substrate.
+
+The paper's target system exposes a single address space to the CPU and all
+GPUs (§II-B); a page lives in exactly one processor's memory at a time and
+remote accesses either fetch single 64 B blocks (direct block access) or
+migrate the whole 4 KB page, chosen by an access-counter policy like the one
+in NVIDIA Volta GPUs (§V-A).
+"""
+
+from repro.memory.address_space import (
+    AddressSpace,
+    ArrayHandle,
+    BLOCK_BYTES,
+    PAGE_BYTES,
+    BLOCKS_PER_PAGE,
+    Placement,
+    block_of,
+    page_of,
+)
+from repro.memory.page_table import PageTable
+from repro.memory.migration import AccessCounterMigrationPolicy, MigrationDecision
+from repro.memory.directory import BlockDirectory
+
+__all__ = [
+    "AddressSpace",
+    "ArrayHandle",
+    "BLOCK_BYTES",
+    "PAGE_BYTES",
+    "BLOCKS_PER_PAGE",
+    "Placement",
+    "block_of",
+    "page_of",
+    "PageTable",
+    "AccessCounterMigrationPolicy",
+    "MigrationDecision",
+    "BlockDirectory",
+]

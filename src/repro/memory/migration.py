@@ -1,0 +1,96 @@
+"""Access-counter-based page migration policy.
+
+Models the NVIDIA Volta-style policy the paper adopts (§V-A): a page is
+served by direct block access until one remote accessor has touched it
+``threshold`` times, at which point the driver migrates the page to that
+accessor.  Migration moves the whole 4 KB page (64 block-sized transfers on
+the wire) and charges a fixed driver + TLB-shootdown cost, which is why
+migration only pays off for high-locality pages (§II-A).
+
+Pages can be pinned (e.g. CPU-resident input staged for streaming reads)
+to model `cudaMemAdvise`-style hints from the locality API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.memory.page_table import PageTable
+
+
+class MigrationDecision(Enum):
+    DIRECT_ACCESS = "direct_access"  # serve the single block remotely
+    MIGRATE = "migrate"  # move the page to the accessor
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Cycle costs charged when a migration is performed."""
+
+    driver_cycles: int = 2000  # driver processing / unmap / remap
+    shootdown_cycles: int = 800  # TLB shootdown across sharers
+
+
+class AccessCounterMigrationPolicy:
+    """Decide direct access vs migration from per-(page, accessor) counters."""
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        threshold: int = 8,
+        cost: MigrationCost | None = None,
+        max_migrations_per_page: int = 3,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("migration threshold must be >= 1")
+        if max_migrations_per_page < 1:
+            raise ValueError("max_migrations_per_page must be >= 1")
+        self.page_table = page_table
+        self.threshold = threshold
+        self.cost = cost or MigrationCost()
+        # Anti-thrash hysteresis: after this many migrations a page is
+        # pinned where it is, as real UM drivers do for ping-ponging pages.
+        self.max_migrations_per_page = max_migrations_per_page
+        self._migration_counts: dict[int, int] = {}
+        self._pinned: set[int] = set()
+
+    def pin(self, page: int) -> None:
+        """Exclude ``page`` from migration (locality-API hint)."""
+        self._pinned.add(page)
+
+    def pin_array_pages(self, first_page: int, n_pages: int) -> None:
+        for page in range(first_page, first_page + n_pages):
+            self.pin(page)
+
+    def is_pinned(self, page: int) -> bool:
+        return page in self._pinned
+
+    def on_remote_access(self, page: int, accessor: int) -> MigrationDecision:
+        """Record one remote access and decide how to serve it.
+
+        The access that crosses the threshold is still served remotely (the
+        migration happens alongside), matching counter-based prefetch-style
+        migration rather than fault-based migration.
+        """
+        count = self.page_table.record_access(page, accessor)
+        if page in self._pinned:
+            return MigrationDecision.DIRECT_ACCESS
+        if count >= self.threshold:
+            return MigrationDecision.MIGRATE
+        return MigrationDecision.DIRECT_ACCESS
+
+    def commit_migration(self, page: int, new_owner: int) -> int:
+        """Apply the ownership change; returns the previous owner."""
+        count = self._migration_counts.get(page, 0) + 1
+        self._migration_counts[page] = count
+        if count >= self.max_migrations_per_page:
+            self.pin(page)  # thrashing page: stop bouncing it around
+        return self.page_table.migrate(page, new_owner)
+
+    @property
+    def total_cost_cycles(self) -> int:
+        return self.cost.driver_cycles + self.cost.shootdown_cycles
+
+
+__all__ = ["AccessCounterMigrationPolicy", "MigrationDecision", "MigrationCost"]

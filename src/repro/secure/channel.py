@@ -1,0 +1,413 @@
+"""Transports: the unsecured fabric and the secure channel layer.
+
+``UnsecureTransport`` moves packets straight over the topology — the
+baseline every figure normalizes against.  ``SecureTransport`` applies the
+full protection pipeline of Fig. 5 around the same topology:
+
+sender:   acquire send pads (scheme) → XOR encrypt + GHASH MAC → attach
+          metadata bytes (conventional or batched) → serialize on the link
+receiver: acquire receive pads (scheme, honouring counter sync) → XOR
+          decrypt (+ blocking MAC verify unless lazily batched) → deliver
+          → emit replay-protection ACK (per message, or per batch)
+
+Both transports also collect the paper's motivation measurements: per-node
+send/receive timelines (Figs 13/14) and per-pair data-block burstiness
+histograms (Figs 15/16).
+"""
+
+from __future__ import annotations
+
+from repro.configs import SystemConfig
+from repro.core.batching import BatchingController, MsgMacStorage
+from repro.interconnect.packet import Packet, PacketKind
+from repro.interconnect.topology import Topology
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.metadata import MetadataAccountant
+from repro.secure.replay import ReplayGuard
+from repro.secure.schemes import build_scheme
+from repro.sim.engine import Simulator
+from repro.sim.stats import Histogram, IntervalSeries
+from repro.transport import DeliveryHandler
+
+#: Histogram bin edges of Figs 15/16.
+BURST_EDGES = [40, 160, 640, 2560]
+
+#: Kinds excluded from the request timelines (protocol housekeeping).
+_HOUSEKEEPING = frozenset({PacketKind.SEC_ACK, PacketKind.BATCH_MAC})
+
+
+class _TransportBase:
+    """Delivery registry plus the measurement instrumentation."""
+
+    def __init__(self, sim: Simulator, topology: Topology, cfg: SystemConfig) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.cfg = cfg
+        self._handlers: dict[int, DeliveryHandler] = {}
+        self.timelines: dict[int, IntervalSeries] = {
+            node: IntervalSeries(f"node{node}", cfg.timeline_interval)
+            for node in topology.nodes()
+        }
+        self.burst16 = Histogram("burst16", BURST_EDGES)
+        self.burst32 = Histogram("burst32", BURST_EDGES)
+        self._burst_state: dict[tuple[int, int], list[int]] = {}
+        self.messages_sent = 0
+        self.data_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, node: int, handler: DeliveryHandler) -> None:
+        if node in self._handlers:
+            raise ValueError(f"node {node} already registered")
+        self._handlers[node] = handler
+
+    def _deliver(self, packet: Packet, time: int) -> None:
+        handler = self._handlers.get(packet.dst)
+        if handler is None:
+            raise KeyError(f"no delivery handler for node {packet.dst}")
+        handler(packet, time)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _note_send(self, packet: Packet, now: int) -> None:
+        self.messages_sent += 1
+        if packet.kind in _HOUSEKEEPING:
+            return
+        timeline = self.timelines[packet.src]
+        timeline.record(now, "send")
+        timeline.record(now, f"to{packet.dst}")
+
+    def _note_arrival(self, packet: Packet, now: int) -> None:
+        if packet.kind in _HOUSEKEEPING:
+            return
+        self.timelines[packet.dst].record(now, "recv")
+        if packet.kind.carries_data:
+            self.data_blocks += 1
+            self._track_burst(packet.src, packet.dst, now)
+
+    def _track_burst(self, src: int, dst: int, now: int) -> None:
+        # state: [count16, start16, count32, start32]
+        state = self._burst_state.setdefault((src, dst), [0, 0, 0, 0])
+        if state[0] == 0:
+            state[1] = now
+        state[0] += 1
+        if state[0] == 16:
+            self.burst16.record(now - state[1])
+            state[0] = 0
+        if state[2] == 0:
+            state[3] = now
+        state[2] += 1
+        if state[2] == 32:
+            self.burst32.record(now - state[3])
+            state[2] = 0
+
+
+class UnsecureTransport(_TransportBase):
+    """The vanilla multi-GPU fabric: no pads, no metadata, no ACKs."""
+
+    def send(self, packet: Packet, now: int) -> None:
+        self._note_send(packet, now)
+        arrival = self.topology.send(packet, now)
+        self.sim.schedule_at(
+            arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
+        )
+
+
+class SecureTransport(_TransportBase):
+    """Authenticated-encrypted fabric with OTP buffers and metadata."""
+
+    def __init__(self, sim: Simulator, topology: Topology, cfg: SystemConfig) -> None:
+        super().__init__(sim, topology, cfg)
+        sec = cfg.security
+        if sec.scheme == "unsecure":
+            raise ValueError("SecureTransport requires a managed scheme")
+        self.accountant = MetadataAccountant(sec.metadata, sec.count_metadata)
+        self.engines: dict[int, AesGcmEngineModel] = {}
+        self.schemes = {}
+        self.guards: dict[int, ReplayGuard] = {}
+        self.batchers: dict[int, BatchingController] = {}
+        self.mac_storage: dict[int, MsgMacStorage] = {}
+        for node in topology.nodes():
+            engine = AesGcmEngineModel(sec.aes_gcm_latency, sec.ghash_latency, sec.xor_latency)
+            self.engines[node] = engine
+            self.schemes[node] = build_scheme(
+                sec.scheme, node, topology.peers_of(node), sec, engine
+            )
+            self.guards[node] = ReplayGuard(node)
+            if sec.batching:
+                self.batchers[node] = BatchingController(
+                    sec.metadata, sec.batch_size, sec.batch_timeout
+                )
+                self.mac_storage[node] = MsgMacStorage(capacity_per_pair=64)
+        self._ctrs: dict[tuple[int, int], int] = {}
+        # Crypto units are FIFO per directed pair: a pad stall blocks the
+        # messages queued behind it (head-of-line), while the XOR/GHASH
+        # fast paths are fully pipelined and add latency only.
+        self._send_crypto_busy: dict[tuple[int, int], int] = {}
+        self._recv_crypto_busy: dict[tuple[int, int], int] = {}
+        # receiver-side batch completion tracking:
+        # (src, dst, batch_id) -> [blocks_arrived, expected_or_None]
+        self._batch_arrivals: dict[tuple[int, int, int], list] = {}
+        self.acks_sent = 0
+        self.batch_macs_sent = 0
+        #: when SecurityConfig.audit is set, every secured message is
+        #: recorded for functional replay (repro.secure.audit)
+        self.audit_log: list = [] if sec.audit else None
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, now: int) -> None:
+        if packet.kind in _HOUSEKEEPING:
+            raise ValueError("ACK/batch-MAC packets are generated by the transport itself")
+        self._note_send(packet, now)
+
+        if not packet.kind.carries_data and not self.cfg.security.protect_requests:
+            # Control messages (read requests, write acks, migration
+            # requests) carry addresses, not data; the paper's protocol
+            # authenticated-encrypts *data* transfers (Figs 5/19) and
+            # leaves request-content hiding to oblivious routing [34].
+            # ``protect_requests`` enables that extension: control messages
+            # then take the full secured path below.
+            arrival = self.topology.send(packet, now)
+            self.sim.schedule_at(
+                arrival,
+                lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now)),
+            )
+            return
+
+        sec = self.cfg.security
+        src, dst = packet.src, packet.dst
+        engine = self.engines[src]
+        # head-of-line: the pad acquisition happens when this message
+        # reaches the front of the pair's crypto queue
+        demand = packet.kind is not PacketKind.MIGRATION_DATA
+        # monitoring observes the message as it enqueues, before any stall
+        self.schemes[src].note_send(dst, now, demand=demand)
+        start = max(now, self._send_crypto_busy.get((src, dst), 0))
+        send_grant = self.schemes[src].acquire_send(dst, start, demand=demand)
+        self._send_crypto_busy[(src, dst)] = start + send_grant.grant.wait
+        counter = self._next_counter(src, dst)
+
+        batch_ctx = None
+        if sec.batching and self.accountant.batchable(packet.kind):
+            grant = self.batchers[src].add_block(dst, now)
+            meta = self.accountant.batched_block_meta(grant.opens_batch, grant.closes_batch)
+            batch_ctx = grant
+            if grant.opens_batch:
+                self.sim.schedule(
+                    sec.batch_timeout,
+                    lambda s=src, d=dst, b=grant.batch_id: self._batch_timeout(s, d, b),
+                )
+            if self.accountant.needs_ack(packet.kind):
+                self.guards[src].on_send(dst, counter)
+        else:
+            meta = self.accountant.conventional_meta(packet)
+            if self.accountant.needs_ack(packet.kind):
+                self.guards[src].on_send(dst, counter)
+
+        packet.size_bytes += meta
+        packet.meta_bytes = meta
+        engine.count_mac()
+
+        if self.audit_log is not None:
+            from repro.secure.audit import AuditEntry
+
+            self.audit_log.append(
+                AuditEntry(
+                    src=src,
+                    dst=dst,
+                    counter=counter,
+                    in_batch=batch_ctx is not None,
+                    closes_batch=bool(batch_ctx and batch_ctx.closes_batch),
+                    batch_size=batch_ctx.batch_size if batch_ctx else 0,
+                )
+            )
+
+        launch_at = (
+            start
+            + send_grant.grant.wait
+            + engine.mac_fast_path
+            + engine.encrypt_fast_path
+        )
+        self.sim.schedule_at(
+            launch_at,
+            lambda p=packet, s=send_grant.receiver_synced, b=batch_ctx, c=counter: self._launch(
+                p, s, b, c
+            ),
+        )
+
+    def _next_counter(self, src: int, dst: int) -> int:
+        key = (src, dst)
+        ctr = self._ctrs.get(key, 0)
+        self._ctrs[key] = ctr + 1
+        return ctr
+
+    def _launch(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
+        arrival = self.topology.send(packet, self.sim.now)
+        self.sim.schedule_at(
+            arrival,
+            lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _arrive(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
+        now = self.sim.now
+        sec = self.cfg.security
+        src, dst = packet.src, packet.dst
+        engine = self.engines[dst]
+        demand = packet.kind is not PacketKind.MIGRATION_DATA
+        self.schemes[dst].note_recv(src, now, demand=demand)
+        start = max(now, self._recv_crypto_busy.get((src, dst), 0))
+        recv_grant = self.schemes[dst].acquire_recv(src, start, synced=synced, demand=demand)
+        self._recv_crypto_busy[(src, dst)] = start + recv_grant.wait
+
+        lazy = sec.batching and self.accountant.batchable(packet.kind)
+        verify = 0 if lazy else engine.mac_fast_path
+        deliver_at = start + recv_grant.wait + engine.encrypt_fast_path + verify
+        self.sim.schedule_at(
+            deliver_at,
+            lambda p=packet, b=batch_ctx, c=counter: self._delivered(p, b, c),
+        )
+
+    def _delivered(self, packet: Packet, batch_ctx, counter: int) -> None:
+        now = self.sim.now
+        self._note_arrival(packet, now)
+        sec = self.cfg.security
+        src, dst = packet.src, packet.dst
+
+        if sec.batching and self.accountant.batchable(packet.kind):
+            self.mac_storage[dst].store(src)
+            self._batch_block_arrived(
+                src,
+                dst,
+                batch_ctx.batch_id,
+                expected=batch_ctx.batch_size if batch_ctx.closes_batch else None,
+            )
+        elif self.accountant.needs_ack(packet.kind):
+            self._send_ack(dst, src, retire=1, counter=counter)
+
+        self._deliver(packet, now)
+
+    # ------------------------------------------------------------------
+    # Batch completion and timeout
+    # ------------------------------------------------------------------
+    def _batch_block_arrived(
+        self, src: int, dst: int, batch_id: int, expected: int | None
+    ) -> None:
+        key = (src, dst, batch_id)
+        state = self._batch_arrivals.setdefault(key, [0, None])
+        state[0] += 1
+        if expected is not None:
+            state[1] = expected
+        self._maybe_complete_batch(key)
+
+    def _batch_mac_arrived(self, src: int, dst: int, batch_id: int, expected: int) -> None:
+        key = (src, dst, batch_id)
+        state = self._batch_arrivals.setdefault(key, [0, None])
+        state[1] = expected
+        self._maybe_complete_batch(key)
+
+    def _maybe_complete_batch(self, key: tuple[int, int, int]) -> None:
+        state = self._batch_arrivals[key]
+        if state[1] is None or state[0] < state[1]:
+            return
+        src, dst, _ = key
+        del self._batch_arrivals[key]
+        self.mac_storage[dst].release_batch(src, state[1])
+        self.engines[dst].count_mac()  # the batched-MAC verification
+        self._send_ack(dst, src, retire=state[1])
+
+    def _batch_timeout(self, src: int, dst: int, batch_id: int) -> None:
+        closed = self.batchers[src].timeout_close(dst, batch_id)
+        if closed is None:
+            return  # batch already filled up
+        if self.audit_log is not None:
+            from repro.secure.audit import AuditEntry
+
+            self.audit_log.append(
+                AuditEntry(
+                    src=src,
+                    dst=dst,
+                    counter=-1,
+                    in_batch=True,
+                    closes_batch=True,
+                    batch_size=closed,
+                    timeout_close=True,
+                )
+            )
+        packet = Packet(
+            kind=PacketKind.BATCH_MAC,
+            src=src,
+            dst=dst,
+            size_bytes=self.accountant.standalone_batch_mac_size(),
+            meta_bytes=0,
+        )
+        packet.meta_bytes = packet.size_bytes if self.cfg.security.count_metadata else 0
+        self.batch_macs_sent += 1
+        self._note_send(packet, self.sim.now)
+        arrival = self.topology.send(packet, self.sim.now)
+        self.sim.schedule_at(
+            arrival,
+            lambda s=src, d=dst, b=batch_id, n=closed: self._batch_mac_arrived(s, d, b, n),
+        )
+
+    # ------------------------------------------------------------------
+    # Replay-protection ACKs
+    # ------------------------------------------------------------------
+    def _send_ack(self, from_node: int, to_node: int, retire: int, counter: int | None = None) -> None:
+        if not self.cfg.security.count_metadata:
+            # +SecureCommu mode: account the protocol without its bandwidth.
+            self.guards[to_node].on_ack(from_node, counter, retire)
+            return
+        ack = Packet(
+            kind=PacketKind.SEC_ACK,
+            src=from_node,
+            dst=to_node,
+            size_bytes=self.accountant.ack_packet_size(),
+            txn_id=retire,
+        )
+        ack.meta_bytes = ack.size_bytes
+        self.acks_sent += 1
+        self._note_send(ack, self.sim.now)
+        arrival = self.topology.send(ack, self.sim.now)
+        self.sim.schedule_at(arrival, lambda a=ack, c=counter: self._ack_retire(a, c))
+
+    def _ack_retire(self, ack: Packet, counter: int | None) -> None:
+        # ack.dst is the original sender whose replay table retires entries
+        self.guards[ack.dst].on_ack(ack.src, counter, retire=ack.txn_id)
+
+    # ------------------------------------------------------------------
+    # Aggregated reporting
+    # ------------------------------------------------------------------
+    def otp_summary(self) -> dict[str, dict[str, float]]:
+        """Fleet-wide send/recv hit-partial-miss fractions (Figs 10/22)."""
+        send = {"hit": 0, "partial": 0, "miss": 0}
+        recv = {"hit": 0, "partial": 0, "miss": 0}
+        for scheme in self.schemes.values():
+            for key, val in scheme.send_outcomes.counts.items():
+                send[key] = send.get(key, 0) + val
+            for key, val in scheme.recv_outcomes.counts.items():
+                recv[key] = recv.get(key, 0) + val
+
+        def fractions(counts):
+            total = sum(counts.values())
+            if not total:
+                return {k: 0.0 for k in counts}
+            return {k: v / total for k, v in counts.items()}
+
+        return {"send": fractions(send), "recv": fractions(recv)}
+
+
+def build_transport(sim: Simulator, topology: Topology, cfg: SystemConfig):
+    """Pick the transport matching ``cfg.security.scheme``."""
+    if cfg.security.scheme == "unsecure":
+        return UnsecureTransport(sim, topology, cfg)
+    return SecureTransport(sim, topology, cfg)
+
+
+__all__ = ["UnsecureTransport", "SecureTransport", "build_transport", "BURST_EDGES"]

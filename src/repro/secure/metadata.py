@@ -1,0 +1,74 @@
+"""Security-metadata wire accounting.
+
+Single place that decides how many metadata bytes ride on each message and
+which messages trigger replay-protection ACKs, for both the conventional
+per-message protocol (§II-C) and the batched protocol (§IV-C).  The
+``count_metadata`` switch supports Fig. 11's "+SecureCommu" configuration:
+security latencies apply but metadata occupies no link bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.configs import MetadataConfig
+from repro.interconnect.packet import Packet, PacketKind
+
+#: Message kinds that carry a data payload and therefore get ACKed for
+#: replay protection (read requests are implicitly covered by their
+#: responses; ACK kinds are never themselves ACKed).
+ACKED_KINDS = frozenset(
+    {PacketKind.DATA_RESP, PacketKind.WRITE_REQ, PacketKind.MIGRATION_DATA}
+)
+
+#: Data kinds eligible for metadata batching (the paper batches data
+#: responses and page-migration streams; writes stay conventional).
+BATCHABLE_KINDS = frozenset({PacketKind.DATA_RESP, PacketKind.MIGRATION_DATA})
+
+
+class MetadataAccountant:
+    """Computes metadata sizes under the active configuration."""
+
+    def __init__(self, metadata: MetadataConfig, count_metadata: bool = True) -> None:
+        self.metadata = metadata
+        self.count_metadata = count_metadata
+
+    def _sized(self, nbytes: int) -> int:
+        return nbytes if self.count_metadata else 0
+
+    def conventional_meta(self, packet: Packet) -> int:
+        """MsgCTR + MsgMAC + senderID on every secured message."""
+        del packet  # same for all kinds in the conventional protocol
+        return self._sized(self.metadata.per_message_meta_bytes)
+
+    def batched_block_meta(self, opens_batch: bool, closes_batch: bool) -> int:
+        """Per-block metadata when batching: CTR + ID (+len, +batch MAC)."""
+        meta = self.metadata.batched_block_meta_bytes
+        if opens_batch:
+            meta += self.metadata.batch_len_bytes
+        if closes_batch:
+            meta += self.metadata.msg_mac_bytes
+        return self._sized(meta)
+
+    def ack_packet_size(self) -> int:
+        """Wire size of a replay-protection ACK (always >= 1 so the link
+        model can serialize it even when metadata is not counted)."""
+        return max(1, self._sized(self.metadata.ack_bytes))
+
+    def standalone_batch_mac_size(self) -> int:
+        """Timeout-closed batches ship their MAC in a tiny packet."""
+        return max(
+            1,
+            self._sized(
+                self.metadata.msg_mac_bytes + self.metadata.sender_id_bytes + 1
+            ),
+        )
+
+    @staticmethod
+    def needs_ack(kind: PacketKind) -> bool:
+        return kind in ACKED_KINDS
+
+    @staticmethod
+    def batchable(kind: PacketKind) -> bool:
+        return kind in BATCHABLE_KINDS
+
+
+__all__ = ["MetadataAccountant", "ACKED_KINDS", "BATCHABLE_KINDS"]

@@ -1,0 +1,63 @@
+"""Replay-attack protection bookkeeping (§II-C).
+
+The sender keeps each outgoing message's counter (or MAC) until the
+receiver's ACK echoes it back; a mismatch or an unexpected ACK indicates a
+replayed or dropped message.  Links deliver in FIFO order in this model, so
+ACKs retire entries oldest-first per directed pair.
+
+The guard is pure bookkeeping — it adds no cycles — but its high-water mark
+reports how much sender-side retention storage the protocol needs, and the
+batched protocol's single-ACK-per-batch behaviour shows up directly as a
+lower entry turnover.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ReplayGuard:
+    """Sender-side outstanding-message table for one processor."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._outstanding: dict[int, deque[int]] = {}  # peer -> counters awaiting ACK
+        self.max_outstanding = 0
+        self.acked = 0
+        self.violations = 0
+
+    def _pair(self, peer: int) -> deque:
+        return self._outstanding.setdefault(peer, deque())
+
+    def on_send(self, peer: int, counter: int) -> None:
+        """Retain ``counter`` until the matching ACK returns."""
+        self._pair(peer).append(counter)
+        total = sum(len(q) for q in self._outstanding.values())
+        self.max_outstanding = max(self.max_outstanding, total)
+
+    def on_ack(self, peer: int, counter: int | None = None, retire: int = 1) -> bool:
+        """Retire ``retire`` oldest entries for ``peer``.
+
+        When ``counter`` is given it must match the oldest entry (the FIFO
+        freshness check); a mismatch is recorded as a violation and returns
+        False.  Batched ACKs retire a whole batch at once.
+        """
+        queue = self._pair(peer)
+        if len(queue) < retire:
+            self.violations += 1
+            return False
+        if counter is not None and queue[0] != counter:
+            self.violations += 1
+            return False
+        for _ in range(retire):
+            queue.popleft()
+        self.acked += retire
+        return True
+
+    def outstanding(self, peer: int | None = None) -> int:
+        if peer is None:
+            return sum(len(q) for q in self._outstanding.values())
+        return len(self._outstanding.get(peer, ()))
+
+
+__all__ = ["ReplayGuard"]

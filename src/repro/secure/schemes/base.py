@@ -1,0 +1,116 @@
+"""Common interface and bookkeeping for OTP buffer-management schemes.
+
+A scheme instance lives on one processor and answers two questions:
+
+* ``acquire_send(peer, now)`` — how long must an outgoing message to
+  ``peer`` wait for its encryption/authentication pads, and will the
+  receiver's pre-generated pad be *synced* (usable) for this message?
+* ``acquire_recv(peer, now, synced)`` — how long does the incoming-side
+  pad acquisition take, given the sender-declared sync state?
+
+Every acquisition is recorded into per-direction hit/partial/miss ratio
+stats (the Figs 10/22 decomposition).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.configs import SecurityConfig
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.otp_buffer import PadGrant
+from repro.sim.stats import RatioStat, StatsRegistry
+
+
+@dataclass(frozen=True)
+class SendGrant:
+    """Sender-side pad grant plus the receiver-sync declaration."""
+
+    grant: PadGrant
+    receiver_synced: bool
+
+
+class OtpScheme(ABC):
+    """Base class: identity, configuration, and outcome statistics."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        node: int,
+        peers: list[int],
+        security: SecurityConfig,
+        engine: AesGcmEngineModel,
+    ) -> None:
+        if node in peers:
+            raise ValueError("a node cannot be its own peer")
+        if not peers:
+            raise ValueError("scheme needs at least one peer")
+        self.node = node
+        self.peers = list(peers)
+        self.security = security
+        self.engine = engine
+        self.stats = StatsRegistry(f"{self.name}@node{node}")
+        self._send_outcomes: RatioStat = self.stats.ratio("send_otp")
+        self._recv_outcomes: RatioStat = self.stats.ratio("recv_otp")
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def acquire_send(self, peer: int, now: int, demand: bool = True) -> SendGrant:
+        """Acquire the send-direction pads for a message to ``peer``.
+
+        ``demand`` distinguishes latency-critical demand messages from bulk
+        background transfers (page-migration blocks); adaptive schemes may
+        weight their monitoring by it, but every message consumes a pad.
+        """
+
+    @abstractmethod
+    def acquire_recv(
+        self, peer: int, now: int, synced: bool = True, demand: bool = True
+    ) -> PadGrant:
+        """Acquire the receive-direction pads for a message from ``peer``."""
+
+    @abstractmethod
+    def pool_size(self) -> int:
+        """Total OTP buffer entries this scheme holds on this processor."""
+
+    def note_send(self, peer: int, now: int, demand: bool = True) -> None:
+        """Observe a message entering the send path at its *enqueue* time.
+
+        Monitoring must sample offered load, not served load: counting at
+        pad consumption lets a starved stream mask its own demand.  The
+        base implementation ignores the observation; adaptive schemes use
+        it to drive their monitoring phase.
+        """
+
+    def note_recv(self, peer: int, now: int, demand: bool = True) -> None:
+        """Observe a message entering the receive path (see note_send)."""
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _record_send(self, grant: PadGrant) -> None:
+        self._send_outcomes.record(grant.outcome.value)
+        self.engine.count_pad()
+
+    def _record_recv(self, grant: PadGrant) -> None:
+        self._recv_outcomes.record(grant.outcome.value)
+        self.engine.count_pad()
+
+    @property
+    def send_outcomes(self) -> RatioStat:
+        return self._send_outcomes
+
+    @property
+    def recv_outcomes(self) -> RatioStat:
+        return self._recv_outcomes
+
+    def _check_peer(self, peer: int) -> None:
+        if peer == self.node:
+            raise ValueError(f"node {self.node} cannot message itself")
+
+
+__all__ = ["OtpScheme", "SendGrant"]

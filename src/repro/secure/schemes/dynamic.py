@@ -1,0 +1,123 @@
+"""The *Dynamic* scheme — the paper's contribution (§IV-B).
+
+Structurally Private (per-(direction, peer) streams, synced counters), but
+the per-stream capacities are repartitioned every interval ``T`` by the
+EWMA-based :class:`~repro.core.dynamic_allocator.DynamicOtpAllocator`.
+Directions and peers that carry more traffic receive more pad entries out
+of the same fixed pool, so the storage cost stays at Private's while the
+hit rate approaches that of a much larger table.
+
+The adjustment is applied lazily: the first pad acquisition past an
+interval boundary triggers the monitoring rollover and capacity changes —
+equivalent to a hardware timer firing at the boundary, without keeping the
+event queue alive when the workload has drained.
+"""
+
+from __future__ import annotations
+
+from repro.configs import SecurityConfig
+from repro.core.dynamic_allocator import AllocationPlan, DynamicOtpAllocator
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.otp_buffer import PadGrant, PadStream
+from repro.secure.schemes.base import OtpScheme, SendGrant
+
+
+class DynamicScheme(OtpScheme):
+    name = "dynamic"
+
+    def __init__(
+        self,
+        node: int,
+        peers: list[int],
+        security: SecurityConfig,
+        engine: AesGcmEngineModel,
+    ) -> None:
+        super().__init__(node, peers, security, engine)
+        self.allocator = DynamicOtpAllocator(
+            peers=peers,
+            total_pool=security.total_otp_entries(len(peers)),
+            alpha=security.alpha,
+            beta=security.beta,
+            interval=security.interval,
+        )
+        latency = engine.pad_latency
+        plan = self.allocator.even_plan()
+        self._send_streams = {
+            p: PadStream(latency, plan.send_per_peer[p]) for p in peers
+        }
+        self._recv_streams = {
+            p: PadStream(latency, plan.recv_per_peer[p]) for p in peers
+        }
+        self.plans_applied = 0
+
+    # ------------------------------------------------------------------
+    # Interval machinery
+    # ------------------------------------------------------------------
+    def _tick(self, now: int) -> None:
+        plan = self.allocator.maybe_adjust(now)
+        if plan is not None:
+            self._apply(plan, now)
+
+    def _apply(self, plan: AllocationPlan, now: int) -> None:
+        # Hysteresis: repartitioning discards warmed pads, so +-1 jitter
+        # around the current assignment is not worth acting on.  Only plans
+        # that move at least one stream by two or more entries are applied.
+        significant = any(
+            abs(plan.send_per_peer[p] - self._send_streams[p].capacity) >= 2
+            or abs(plan.recv_per_peer[p] - self._recv_streams[p].capacity) >= 2
+            for p in plan.send_per_peer
+        )
+        if not significant:
+            return
+        for peer, capacity in plan.send_per_peer.items():
+            self._send_streams[peer].set_capacity(now, capacity)
+        for peer, capacity in plan.recv_per_peer.items():
+            self._recv_streams[peer].set_capacity(now, capacity)
+        self.plans_applied += 1
+
+    # ------------------------------------------------------------------
+    # Scheme interface
+    # ------------------------------------------------------------------
+    def note_send(self, peer: int, now: int, demand: bool = True) -> None:
+        """Monitoring phase: sample offered send load at enqueue time."""
+        self._check_peer(peer)
+        self._tick(now)
+        if demand:
+            # bulk migration blocks consume pads but do not steer the
+            # allocation: they are latency-tolerant background traffic
+            self.allocator.record_send(peer)
+
+    def note_recv(self, peer: int, now: int, demand: bool = True) -> None:
+        self._check_peer(peer)
+        self._tick(now)
+        if demand:
+            self.allocator.record_recv(peer)
+
+    def acquire_send(self, peer: int, now: int, demand: bool = True) -> SendGrant:
+        self._check_peer(peer)
+        self._tick(now)
+        grant = self._send_streams[peer].consume(now)
+        self._record_send(grant)
+        return SendGrant(grant=grant, receiver_synced=True)
+
+    def acquire_recv(
+        self, peer: int, now: int, synced: bool = True, demand: bool = True
+    ) -> PadGrant:
+        self._check_peer(peer)
+        self._tick(now)
+        stream = self._recv_streams[peer]
+        grant = stream.consume(now) if synced else stream.consume_desync(now)
+        self._record_recv(grant)
+        return grant
+
+    def pool_size(self) -> int:
+        return sum(s.capacity for s in self._send_streams.values()) + sum(
+            s.capacity for s in self._recv_streams.values()
+        )
+
+    def stream_capacity(self, direction: str, peer: int) -> int:
+        streams = self._send_streams if direction == "send" else self._recv_streams
+        return streams[peer].capacity
+
+
+__all__ = ["DynamicScheme"]

@@ -1,0 +1,50 @@
+"""The *Ideal* scheme: an unbounded pad table (analysis upper bound).
+
+Not part of the paper's design space — every acquisition hits, as if each
+stream had infinite pre-generated pads with perfectly synced counters.
+Useful for ablations: the residual overhead under Ideal is exactly the
+metadata-bandwidth + fast-path-latency cost that no OTP buffer-management
+scheme can remove (only batching can), cleanly separating the two problems
+the paper attacks.
+"""
+
+from __future__ import annotations
+
+from repro.configs import SecurityConfig
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.otp_buffer import PadGrant, PadOutcome
+from repro.secure.schemes.base import OtpScheme, SendGrant
+
+_ALWAYS_HIT = PadGrant(wait=0, outcome=PadOutcome.HIT)
+
+
+class IdealScheme(OtpScheme):
+    name = "ideal"
+
+    def __init__(
+        self,
+        node: int,
+        peers: list[int],
+        security: SecurityConfig,
+        engine: AesGcmEngineModel,
+    ) -> None:
+        super().__init__(node, peers, security, engine)
+
+    def acquire_send(self, peer: int, now: int, demand: bool = True) -> SendGrant:
+        self._check_peer(peer)
+        self._record_send(_ALWAYS_HIT)
+        return SendGrant(grant=_ALWAYS_HIT, receiver_synced=True)
+
+    def acquire_recv(
+        self, peer: int, now: int, synced: bool = True, demand: bool = True
+    ) -> PadGrant:
+        self._check_peer(peer)
+        # even a desync cannot miss with unbounded lookahead
+        self._record_recv(_ALWAYS_HIT)
+        return _ALWAYS_HIT
+
+    def pool_size(self) -> int:
+        return 0  # unbounded: no finite provisioning to report
+
+
+__all__ = ["IdealScheme"]

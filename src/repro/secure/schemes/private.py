@@ -1,0 +1,56 @@
+"""The *Private* scheme (Fig. 7a).
+
+Every (direction, peer) stream owns ``otp_multiplier`` dedicated pad
+entries ("OTP Nx"), and per-pair message counters stay perfectly
+synchronized, so the receiver's pre-generation is always for the right
+counter — misses come only from bursts outrunning the per-stream capacity.
+Storage grows quadratically with the processor count (Table I), which is
+exactly the problem the Dynamic scheme addresses with the same pool size.
+"""
+
+from __future__ import annotations
+
+from repro.configs import SecurityConfig
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.otp_buffer import PadGrant, PadStream
+from repro.secure.schemes.base import OtpScheme, SendGrant
+
+
+class PrivateScheme(OtpScheme):
+    name = "private"
+
+    def __init__(
+        self,
+        node: int,
+        peers: list[int],
+        security: SecurityConfig,
+        engine: AesGcmEngineModel,
+    ) -> None:
+        super().__init__(node, peers, security, engine)
+        k = security.otp_multiplier
+        latency = engine.pad_latency
+        self._send_streams = {p: PadStream(latency, k) for p in peers}
+        self._recv_streams = {p: PadStream(latency, k) for p in peers}
+
+    def acquire_send(self, peer: int, now: int, demand: bool = True) -> SendGrant:
+        self._check_peer(peer)
+        grant = self._send_streams[peer].consume(now)
+        self._record_send(grant)
+        return SendGrant(grant=grant, receiver_synced=True)
+
+    def acquire_recv(
+        self, peer: int, now: int, synced: bool = True, demand: bool = True
+    ) -> PadGrant:
+        self._check_peer(peer)
+        stream = self._recv_streams[peer]
+        grant = stream.consume(now) if synced else stream.consume_desync(now)
+        self._record_recv(grant)
+        return grant
+
+    def pool_size(self) -> int:
+        return sum(s.capacity for s in self._send_streams.values()) + sum(
+            s.capacity for s in self._recv_streams.values()
+        )
+
+
+__all__ = ["PrivateScheme"]

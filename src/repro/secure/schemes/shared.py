@@ -1,0 +1,67 @@
+"""The *Shared* scheme (Fig. 7b).
+
+One message counter — and one pad buffer — serves the send direction to
+*all* peers: seeds omit the receiver ID, so a single pre-generated pad works
+for whichever destination comes next.  The capacity saving is large (1 send
+entry instead of peers × multiplier) but pre-generation barely helps:
+
+* the lone send entry is immediately exhausted by any burst, and
+* a receiver can only pre-generate the sender's next pad if it knows the
+  next message is for *it* — true only for back-to-back messages to the
+  same destination; any destination switch desynchronizes every other
+  receiver's pre-generation (a full-latency desync miss).
+"""
+
+from __future__ import annotations
+
+from repro.configs import SecurityConfig
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.otp_buffer import PadGrant, PadStream
+from repro.secure.schemes.base import OtpScheme, SendGrant
+
+
+class SharedScheme(OtpScheme):
+    name = "shared"
+
+    def __init__(
+        self,
+        node: int,
+        peers: list[int],
+        security: SecurityConfig,
+        engine: AesGcmEngineModel,
+    ) -> None:
+        super().__init__(node, peers, security, engine)
+        latency = engine.pad_latency
+        self._send_stream = PadStream(latency, capacity=1)
+        self._recv_streams = {p: PadStream(latency, capacity=1) for p in peers}
+        self._last_dst: int | None = None
+        self.destination_switches = 0
+
+    def acquire_send(self, peer: int, now: int, demand: bool = True) -> SendGrant:
+        self._check_peer(peer)
+        grant = self._send_stream.consume(now)
+        self._record_send(grant)
+        # The receiver's pre-generated pad is only for the shared counter's
+        # next value if the previous send also went to this peer.
+        synced = self._last_dst == peer
+        if not synced:
+            self.destination_switches += 1
+        self._last_dst = peer
+        return SendGrant(grant=grant, receiver_synced=synced)
+
+    def acquire_recv(
+        self, peer: int, now: int, synced: bool = True, demand: bool = True
+    ) -> PadGrant:
+        self._check_peer(peer)
+        stream = self._recv_streams[peer]
+        grant = stream.consume(now) if synced else stream.consume_desync(now)
+        self._record_recv(grant)
+        return grant
+
+    def pool_size(self) -> int:
+        return self._send_stream.capacity + sum(
+            s.capacity for s in self._recv_streams.values()
+        )
+
+
+__all__ = ["SharedScheme"]

@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate.
+
+This package provides the cycle-timestamped event engine that every other
+subsystem (interconnect, GPUs, secure channels) schedules work on, plus the
+statistics primitives used to collect the paper's measurements.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.stats import Counter, Histogram, IntervalSeries, RatioStat, StatsRegistry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Counter",
+    "Histogram",
+    "IntervalSeries",
+    "RatioStat",
+    "StatsRegistry",
+]

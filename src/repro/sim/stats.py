@@ -1,0 +1,200 @@
+"""Statistics primitives used by the measurement harness.
+
+The paper reports four kinds of quantities and each has a matching
+primitive here:
+
+* scalar event counts (requests sent, bytes transferred) — :class:`Counter`
+* distributions (time for 16 blocks to accumulate, Figs 15/16) —
+  :class:`Histogram` with explicit bin edges
+* per-interval time series (send/receive ratio over execution, Figs 13/14) —
+  :class:`IntervalSeries`
+* hit/partial/miss style decompositions (Figs 10/22) — :class:`RatioStat`
+
+A :class:`StatsRegistry` groups the stats a component owns so reports can
+walk them generically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Histogram over explicit bin edges.
+
+    ``edges = [a, b, c]`` creates bins ``[-inf, a) [a, b) [b, c) [c, inf)``.
+    The paper's burstiness figures use edges ``[40, 160, 640, 2560]``.
+    """
+
+    def __init__(self, name: str, edges: list[int | float]) -> None:
+        if sorted(edges) != list(edges):
+            raise ValueError("histogram edges must be sorted")
+        self.name = name
+        self.edges = list(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self._sum = 0.0
+
+    def record(self, value: int | float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.total += 1
+        self._sum += value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else 0.0
+
+    def fractions(self) -> list[float]:
+        """Per-bin fractions of all recorded samples (sums to 1 when any)."""
+        if not self.total:
+            return [0.0] * len(self.counts)
+        return [c / self.total for c in self.counts]
+
+    def bin_labels(self) -> list[str]:
+        labels = [f"[0, {self.edges[0]})"] if self.edges else ["all"]
+        for lo, hi in zip(self.edges, self.edges[1:]):
+            labels.append(f"[{lo}, {hi})")
+        if self.edges:
+            labels.append(f"[{self.edges[-1]}, inf)")
+        return labels
+
+
+class IntervalSeries:
+    """Accumulates values into fixed-width time intervals.
+
+    Used for the communication-pattern timelines (Figs 13/14): each call to
+    :meth:`record` adds ``amount`` into the interval that contains ``time``.
+    Multiple named channels share the interval grid, so per-destination
+    decompositions line up.
+    """
+
+    def __init__(self, name: str, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.name = name
+        self.interval = interval
+        self._channels: dict[str, dict[int, float]] = {}
+
+    def record(self, time: int, channel: str, amount: float = 1.0) -> None:
+        bucket = time // self.interval
+        chan = self._channels.setdefault(channel, {})
+        chan[bucket] = chan.get(bucket, 0.0) + amount
+
+    def channels(self) -> list[str]:
+        return sorted(self._channels)
+
+    def series(self, channel: str, n_buckets: int | None = None) -> list[float]:
+        """Dense series for one channel, zero-filled to ``n_buckets``."""
+        chan = self._channels.get(channel, {})
+        if n_buckets is None:
+            n_buckets = (max(chan) + 1) if chan else 0
+        return [chan.get(i, 0.0) for i in range(n_buckets)]
+
+    def n_buckets(self) -> int:
+        highest = -1
+        for chan in self._channels.values():
+            if chan:
+                highest = max(highest, max(chan))
+        return highest + 1
+
+    def stacked_fractions(self, n_buckets: int | None = None) -> dict[str, list[float]]:
+        """Per-bucket fraction of each channel (stacked-area view)."""
+        if n_buckets is None:
+            n_buckets = self.n_buckets()
+        dense = {c: self.series(c, n_buckets) for c in self.channels()}
+        totals = [sum(dense[c][i] for c in dense) for i in range(n_buckets)]
+        out: dict[str, list[float]] = {}
+        for chan, values in dense.items():
+            out[chan] = [v / t if t else 0.0 for v, t in zip(values, totals)]
+        return out
+
+
+@dataclass
+class RatioStat:
+    """Counts of categorical outcomes, reported as fractions.
+
+    The OTP hit/partial/miss decomposition uses exactly this.
+    """
+
+    name: str
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, category: str, amount: int = 1) -> None:
+        self.counts[category] = self.counts.get(category, 0) + amount
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, category: str) -> float:
+        total = self.total
+        return self.counts.get(category, 0) / total if total else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total
+        if not total:
+            return {k: 0.0 for k in self.counts}
+        return {k: v / total for k, v in self.counts.items()}
+
+    def merge(self, other: "RatioStat") -> None:
+        for key, val in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + val
+
+
+class StatsRegistry:
+    """A flat namespace of stats owned by one component."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._stats: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name))
+
+    def histogram(self, name: str, edges: list[int | float]) -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, edges))
+
+    def interval_series(self, name: str, interval: int) -> IntervalSeries:
+        return self._get_or_create(name, lambda: IntervalSeries(name, interval))
+
+    def ratio(self, name: str) -> RatioStat:
+        return self._get_or_create(name, lambda: RatioStat(name))
+
+    def _get_or_create(self, name, factory):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = factory()
+            self._stats[name] = stat
+        return stat
+
+    def get(self, name: str):
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def all(self) -> dict[str, object]:
+        return dict(self._stats)
+
+
+__all__ = ["Counter", "Histogram", "IntervalSeries", "RatioStat", "StatsRegistry"]

@@ -1,0 +1,212 @@
+"""Whole-system assembly and simulation entry point.
+
+:class:`MultiGpuSystem` wires the substrates together — topology, transport
+(secure or not), page table + migration policy, host CPU, and one
+:class:`~repro.gpu.gpu.GpuDevice` per GPU — loads a workload trace, runs
+the event loop, and distills a :class:`SimulationReport` carrying every
+quantity the paper's figures plot.
+
+Typical use::
+
+    from repro import MultiGpuSystem, scheme_config, get_workload
+
+    trace = get_workload("matrixmultiplication").generate(n_gpus=4, seed=1)
+    report = MultiGpuSystem(scheme_config("batching")).run(trace)
+    print(report.execution_cycles, report.traffic_bytes)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configs import SystemConfig
+from repro.gpu.cpu import HostCpu
+from repro.gpu.gpu import GpuDevice
+from repro.interconnect.topology import CPU_NODE, Topology
+from repro.memory.migration import AccessCounterMigrationPolicy, MigrationCost
+from repro.memory.page_table import PageTable
+from repro.secure.channel import SecureTransport, build_transport
+from repro.sim.engine import Simulator
+from repro.workloads.base import WorkloadTrace
+
+
+@dataclass
+class OtpDistribution:
+    """Hit/partial/miss fractions for one direction (Figs 10/22)."""
+
+    hit: float = 0.0
+    partial: float = 0.0
+    miss: float = 0.0
+
+    @property
+    def hidden(self) -> float:
+        """Fully or partially hidden fraction, as the paper reports."""
+        return self.hit + self.partial
+
+
+@dataclass
+class SimulationReport:
+    """Everything measured in one run."""
+
+    workload: str
+    scheme: str
+    n_gpus: int
+    execution_cycles: int
+    traffic_bytes: int
+    base_traffic_bytes: int
+    meta_traffic_bytes: int
+    remote_requests: int
+    migrations: int
+    otp_send: OtpDistribution = field(default_factory=OtpDistribution)
+    otp_recv: OtpDistribution = field(default_factory=OtpDistribution)
+    rpki: float = 0.0
+    acks_sent: int = 0
+    batch_macs_sent: int = 0
+    per_gpu_finish: dict[int, int] = field(default_factory=dict)
+    burst16_fractions: list[float] = field(default_factory=list)
+    burst32_fractions: list[float] = field(default_factory=list)
+    timelines: dict = field(default_factory=dict)
+    events_processed: int = 0
+
+    def slowdown_vs(self, baseline: "SimulationReport") -> float:
+        """Normalized execution time (1.0 = the baseline's)."""
+        if baseline.execution_cycles <= 0:
+            raise ValueError("baseline has no execution time")
+        return self.execution_cycles / baseline.execution_cycles
+
+    def traffic_ratio_vs(self, baseline: "SimulationReport") -> float:
+        if baseline.traffic_bytes <= 0:
+            raise ValueError("baseline has no traffic")
+        return self.traffic_bytes / baseline.traffic_bytes
+
+
+class MultiGpuSystem:
+    """Builds and runs one simulated machine for one workload."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.topology = Topology(
+            n_gpus=config.n_gpus,
+            pcie_bytes_per_cycle=config.link.pcie_bytes_per_cycle,
+            nvlink_bytes_per_cycle=config.link.nvlink_bytes_per_cycle,
+            pcie_latency=config.link.pcie_latency,
+            nvlink_latency=config.link.nvlink_latency,
+            fabric=config.link.fabric,
+            switch_factor=config.link.switch_factor,
+        )
+        self.transport = build_transport(self.sim, self.topology, config)
+        self.cpu: HostCpu | None = None
+        self.gpus: dict[int, GpuDevice] = {}
+        self.page_table: PageTable | None = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build_devices(self, trace: WorkloadTrace) -> None:
+        cfg = self.config
+        self.page_table = PageTable(trace.initial_owners)
+        policy = AccessCounterMigrationPolicy(
+            self.page_table,
+            threshold=cfg.migration.threshold,
+            cost=MigrationCost(cfg.migration.driver_cycles, cfg.migration.shootdown_cycles),
+        )
+        for page in trace.pinned_pages:
+            policy.pin(page)
+
+        self.cpu = HostCpu(
+            self.sim, self.transport, node_id=CPU_NODE, dram_latency=cfg.cpu_dram_latency
+        )
+        for node in self.topology.gpu_nodes():
+            self.gpus[node] = GpuDevice(
+                node_id=node,
+                sim=self.sim,
+                cfg=cfg.gpu,
+                transport=self.transport,
+                page_table=self.page_table,
+                migration_policy=policy,
+                migration_cfg=cfg.migration,
+                on_migration_commit=self._on_migration_commit,
+            )
+        for node, gpu_trace in trace.gpu_traces.items():
+            if node not in self.gpus:
+                raise ValueError(f"trace targets GPU node {node} outside the system")
+            self.gpus[node].load_trace(gpu_trace)
+
+    def _on_migration_commit(self, page: int, old_owner: int, new_owner: int) -> None:
+        """Driver-side shootdown: every node drops its stale page state."""
+        for gpu in self.gpus.values():
+            if gpu.node_id != new_owner:
+                gpu.invalidate_page(page)
+        if self.cpu is not None:
+            self.cpu.invalidate_page(page)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, trace: WorkloadTrace) -> SimulationReport:
+        if self._ran:
+            raise RuntimeError("a MultiGpuSystem instance runs exactly one workload")
+        self._ran = True
+        trace.validate()
+        self._build_devices(trace)
+        for gpu in self.gpus.values():
+            gpu.start()
+        self.sim.run()
+        return self._report(trace)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, trace: WorkloadTrace) -> SimulationReport:
+        finishes = {
+            node: gpu.finish_cycle
+            for node, gpu in self.gpus.items()
+            if gpu.finish_cycle is not None
+        }
+        unfinished = [n for n, g in self.gpus.items() if g.lanes and g.finish_cycle is None]
+        if unfinished:
+            raise RuntimeError(f"GPUs {unfinished} never drained — deadlocked workload?")
+        execution = max(finishes.values()) if finishes else self.sim.now
+
+        scheme_name = self.config.security.scheme
+        if self.config.security.batching:
+            scheme_name = "batching"
+        report = SimulationReport(
+            workload=trace.name,
+            scheme=scheme_name,
+            n_gpus=self.config.n_gpus,
+            execution_cycles=execution,
+            traffic_bytes=self.topology.total_bytes,
+            base_traffic_bytes=self.topology.base_bytes,
+            meta_traffic_bytes=self.topology.meta_bytes,
+            remote_requests=sum(g.remote_requests for g in self.gpus.values()),
+            migrations=self.page_table.migrations if self.page_table else 0,
+            per_gpu_finish=finishes,
+            events_processed=self.sim.events_processed,
+        )
+
+        instructions = sum(g.instructions for g in self.gpus.values())
+        if instructions:
+            report.rpki = report.remote_requests / (instructions / 1000.0)
+
+        report.burst16_fractions = self.transport.burst16.fractions()
+        report.burst32_fractions = self.transport.burst32.fractions()
+        report.timelines = self.transport.timelines
+
+        if isinstance(self.transport, SecureTransport):
+            summary = self.transport.otp_summary()
+            report.otp_send = OtpDistribution(**summary["send"])
+            report.otp_recv = OtpDistribution(**summary["recv"])
+            report.acks_sent = self.transport.acks_sent
+            report.batch_macs_sent = self.transport.batch_macs_sent
+        return report
+
+
+def run_workload(config: SystemConfig, trace: WorkloadTrace) -> SimulationReport:
+    """One-shot convenience wrapper."""
+    return MultiGpuSystem(config).run(trace)
+
+
+__all__ = ["MultiGpuSystem", "SimulationReport", "OtpDistribution", "run_workload"]

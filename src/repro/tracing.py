@@ -1,0 +1,132 @@
+"""Message-level trace capture and export.
+
+Attaching a :class:`MessageTracer` to a system before ``run`` records every
+interconnect message with its protocol-relevant fields (kind, endpoints,
+sizes, send/delivery cycles).  Traces export to JSON-lines for external
+analysis and re-import for post-processing with :func:`load_trace`.
+
+This is observation-only: the tracer wraps the transport's instrumentation
+hooks and never changes timing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.interconnect.packet import Packet
+from repro.system import MultiGpuSystem
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One message's lifetime on the fabric."""
+
+    pid: int
+    kind: str
+    src: int
+    dst: int
+    size_bytes: int
+    meta_bytes: int
+    sent_at: int
+    delivered_at: int
+
+    @property
+    def latency(self) -> int:
+        return self.delivered_at - self.sent_at
+
+
+class MessageTracer:
+    """Records every message a transport carries."""
+
+    def __init__(self) -> None:
+        self._sent: dict[int, tuple[Packet, int]] = {}
+        self.records: list[MessageRecord] = []
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, system: MultiGpuSystem) -> "MessageTracer":
+        """Wrap ``system``'s transport instrumentation hooks."""
+        transport = system.transport
+        if getattr(transport, "_tracer", None) is not None:
+            raise RuntimeError("transport already has a tracer attached")
+        transport._tracer = self
+        original_send = transport._note_send
+        original_arrival = transport._note_arrival
+
+        def note_send(packet, now):
+            self._sent[packet.pid] = (packet, now)
+            original_send(packet, now)
+
+        def note_arrival(packet, now):
+            sent = self._sent.pop(packet.pid, None)
+            if sent is not None:
+                self._record(packet, sent[1], now)
+            original_arrival(packet, now)
+
+        transport._note_send = note_send
+        transport._note_arrival = note_arrival
+        return self
+
+    def _record(self, packet: Packet, sent_at: int, delivered_at: int) -> None:
+        self.records.append(
+            MessageRecord(
+                pid=packet.pid,
+                kind=packet.kind.value,
+                src=packet.src,
+                dst=packet.dst,
+                size_bytes=packet.size_bytes,
+                meta_bytes=packet.meta_bytes,
+                sent_at=sent_at,
+                delivered_at=delivered_at,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def by_pair(self) -> dict[tuple[int, int], list[MessageRecord]]:
+        pairs: dict[tuple[int, int], list[MessageRecord]] = {}
+        for record in self.records:
+            pairs.setdefault((record.src, record.dst), []).append(record)
+        return pairs
+
+    def mean_latency(self, kind: str | None = None) -> float:
+        latencies = [
+            r.latency for r in self.records if kind is None or r.kind == kind
+        ]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Export / import
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per message; returns the record count."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(asdict(record)) + "\n")
+        return len(self.records)
+
+
+def load_trace(path: str | Path) -> list[MessageRecord]:
+    """Re-import a JSONL message trace."""
+    records = []
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(MessageRecord(**json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed trace line") from exc
+    return records
+
+
+__all__ = ["MessageRecord", "MessageTracer", "load_trace"]

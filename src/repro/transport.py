@@ -1,0 +1,33 @@
+"""Transport abstraction between device models and the (secure) fabric.
+
+Devices (GPUs, the host CPU) produce and consume :class:`~repro.interconnect.packet.Packet`
+messages but are agnostic to *how* they cross the machine: the unsecure
+baseline sends them straight over the topology, while secure configurations
+route them through per-pair secure channels that add pad-wait latency,
+metadata bytes, ACK traffic, and (optionally) batching.
+
+``send`` is fire-and-forget with a delivery callback; the transport invokes
+``deliver`` on the destination device when the message (including all
+security processing) lands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.interconnect.packet import Packet
+
+DeliveryHandler = Callable[[Packet, int], None]
+
+
+class MessageTransport(Protocol):
+    """What a device needs from the fabric."""
+
+    def send(self, packet: Packet, now: int) -> None:
+        """Inject ``packet`` at cycle ``now``; delivery is asynchronous."""
+
+    def register(self, node: int, handler: DeliveryHandler) -> None:
+        """Register the destination-side delivery handler for ``node``."""
+
+
+__all__ = ["MessageTransport", "DeliveryHandler"]

@@ -1,0 +1,28 @@
+"""Workload traces: the 17 synthetic benchmarks of Table IV.
+
+The paper drives MGPUSim with binaries from five suites; this package
+substitutes trace generators that reproduce each benchmark's multi-GPU
+*communication structure* — remote-request rate, destination locality and
+drift, burstiness, and migration/direct-access mix — which is what the
+evaluated mechanisms respond to (see DESIGN.md §5).
+"""
+
+from repro.workloads.base import Access, AccessKind, GpuTrace, LaneTrace, WorkloadTrace
+from repro.workloads.builder import TraceBuilder
+from repro.workloads.registry import WorkloadSpec, all_workloads, get_workload, workloads_in_class
+from repro.workloads.rpki import classify_rpki, rpki_of
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "GpuTrace",
+    "LaneTrace",
+    "WorkloadTrace",
+    "TraceBuilder",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "workloads_in_class",
+    "classify_rpki",
+    "rpki_of",
+]

@@ -1,0 +1,98 @@
+"""Workload trace model.
+
+A workload is compiled into a :class:`WorkloadTrace`: for every GPU, a set
+of *lane traces*.  A lane abstracts a group of compute units executing the
+same kernel region — its trace is an ordered list of memory accesses, each
+preceded by ``gap`` cycles of computation.  Multiple lanes per GPU is what
+produces the bursty, overlapped communication the paper measures (§III-B
+attributes burstiness to "multiple thread blocks operating in each GPU").
+
+Traces carry the executed-instruction estimate per GPU so RPKI (remote
+requests per kilo-instruction, Table IV) can be computed after simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessKind(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access in a lane trace.
+
+    ``gap`` is compute cycles separating this access from the previous one
+    in the same lane (the instruction work between memory operations).
+    """
+
+    gap: int
+    address: int
+    kind: AccessKind = AccessKind.READ
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("access gap must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+
+LaneTrace = list[Access]
+
+
+@dataclass
+class GpuTrace:
+    """All lanes of one GPU plus its instruction count."""
+
+    lanes: list[LaneTrace]
+    instructions: int
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+
+@dataclass
+class WorkloadTrace:
+    """A complete multi-GPU workload: traces, allocations, pinned pages."""
+
+    name: str
+    gpu_traces: dict[int, GpuTrace]  # node id -> trace
+    pinned_pages: set[int] = field(default_factory=set)
+    initial_owners: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(t.n_accesses for t in self.gpu_traces.values())
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.gpu_traces.values())
+
+    def validate(self) -> None:
+        """Sanity-check the trace against its own allocation map."""
+        if not self.gpu_traces:
+            raise ValueError(f"workload {self.name} has no GPU traces")
+        if not self.initial_owners:
+            raise ValueError(f"workload {self.name} has no page ownership map")
+        from repro.memory.address_space import page_of
+
+        for node, trace in self.gpu_traces.items():
+            for lane in trace.lanes:
+                for access in lane:
+                    page = page_of(access.address)
+                    if page not in self.initial_owners:
+                        raise ValueError(
+                            f"workload {self.name}: GPU {node} touches unmapped page {page}"
+                        )
+
+
+__all__ = ["Access", "AccessKind", "LaneTrace", "GpuTrace", "WorkloadTrace"]

@@ -1,0 +1,5 @@
+"""Per-suite workload generators for the 17 benchmarks of Table IV."""
+
+from repro.workloads.suites import amdappsdk, dnnmark, heteromark, polybench, shoc
+
+__all__ = ["amdappsdk", "dnnmark", "heteromark", "polybench", "shoc"]

@@ -1,0 +1,42 @@
+"""Shared test fixtures and fakes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class FakeTransport:
+    """Fixed-delay transport for device-level unit tests.
+
+    Delivers every packet ``delay`` cycles after it is sent and keeps a log
+    so tests can assert on the message flow without a real fabric.
+    """
+
+    def __init__(self, sim: Simulator, delay: int = 10) -> None:
+        self.sim = sim
+        self.delay = delay
+        self.handlers = {}
+        self.sent: list[Packet] = []
+
+    def register(self, node: int, handler) -> None:
+        self.handlers[node] = handler
+
+    def send(self, packet: Packet, now: int) -> None:
+        self.sent.append(packet)
+        handler = self.handlers.get(packet.dst)
+        if handler is None:
+            raise AssertionError(f"no handler registered for node {packet.dst}")
+        self.sim.schedule(self.delay, lambda: handler(packet, self.sim.now))
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fake_transport(sim):
+    return FakeTransport(sim)

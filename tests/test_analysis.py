@@ -1,0 +1,63 @@
+"""Analysis utilities tests."""
+
+import pytest
+
+from repro.analysis import burst_summary, compare_schemes, traffic_breakdown
+from repro.configs import scheme_config
+from repro.system import run_workload
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def reports():
+    def simulate(scheme):
+        trace = get_workload("kmeans").generate(4, seed=1, scale=0.15)
+        return run_workload(scheme_config(scheme), trace)
+
+    return {s: simulate(s) for s in ("unsecure", "private", "batching")}
+
+
+class TestCompare:
+    def test_compare_private_vs_batching(self, reports):
+        cmp = compare_schemes(reports["private"], reports["batching"])
+        assert cmp.workload == "kmeans"
+        assert cmp.baseline_scheme == "private"
+        assert cmp.candidate_scheme == "batching"
+        assert cmp.traffic_saving > 0  # batching removes metadata bytes
+        assert cmp.candidate_wins == (cmp.speedup > 1.0)
+
+    def test_compare_requires_same_workload(self, reports):
+        other = run_workload(
+            scheme_config("private"), get_workload("fir").generate(4, seed=1, scale=0.15)
+        )
+        with pytest.raises(ValueError):
+            compare_schemes(reports["private"], other)
+
+
+class TestTrafficBreakdown:
+    def test_breakdown_consistency(self, reports):
+        bd = traffic_breakdown(reports["private"])
+        assert bd.base_bytes + bd.meta_bytes == bd.total_bytes
+        assert 0 < bd.meta_fraction < 0.5
+        assert bd.amplification > 1.0
+
+    def test_unsecure_has_no_amplification(self, reports):
+        bd = traffic_breakdown(reports["unsecure"])
+        assert bd.meta_fraction == 0.0
+        assert bd.amplification == 1.0
+
+
+class TestBurstSummary:
+    def test_summary_fields(self, reports):
+        summary = burst_summary(reports["unsecure"], group=16)
+        assert set(summary) == {"within_160", "within_640", "tail"}
+        assert 0.0 <= summary["within_160"] <= summary["within_640"] <= 1.0
+
+    def test_group_32(self, reports):
+        s16 = burst_summary(reports["unsecure"], 16)
+        s32 = burst_summary(reports["unsecure"], 32)
+        assert s32["within_160"] <= s16["within_160"] + 1e-9
+
+    def test_invalid_group_rejected(self, reports):
+        with pytest.raises(ValueError):
+            burst_summary(reports["unsecure"], group=8)

@@ -1,0 +1,70 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.experiments.ascii_chart import hbar_chart, stacked_bar
+
+
+class TestHbarChart:
+    def test_renders_all_items(self):
+        chart = hbar_chart("Slowdowns", [("private", 1.17), ("ours", 1.08)])
+        assert "Slowdowns" in chart
+        assert "private" in chart and "ours" in chart
+        assert "1.170" in chart and "1.080" in chart
+
+    def test_larger_value_longer_bar(self):
+        chart = hbar_chart("c", [("a", 2.0), ("b", 4.0)])
+        bar_a = chart.splitlines()[2].count("#")
+        bar_b = chart.splitlines()[3].count("#")
+        assert bar_b > bar_a
+
+    def test_baseline_marker_drawn(self):
+        chart = hbar_chart("c", [("a", 0.4)], baseline=1.0)
+        assert "|" in chart
+        assert "marks 1.000" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hbar_chart("c", [])
+        with pytest.raises(ValueError):
+            hbar_chart("c", [("a", 1.0)], width=2)
+
+    def test_labels_aligned(self):
+        chart = hbar_chart("c", [("short", 1.0), ("a-longer-label", 2.0)])
+        lines = chart.splitlines()[2:]
+        starts = {line.index("#") if "#" in line else None for line in lines}
+        starts.discard(None)
+        assert len(starts) <= 2  # bars start in the same column region
+
+
+class TestStackedBar:
+    def _items(self):
+        return [
+            ("private", {"hit": 0.5, "partial": 0.4, "miss": 0.1}),
+            ("shared", {"hit": 0.2, "partial": 0.3, "miss": 0.5}),
+        ]
+
+    def test_renders_with_legend(self):
+        chart = stacked_bar(
+            "OTP", self._items(), symbols={"hit": "#", "partial": "+", "miss": "."}
+        )
+        assert "#=hit" in chart and "+=partial" in chart
+        assert chart.count("[") == 2
+
+    def test_bar_width_is_constant(self):
+        chart = stacked_bar(
+            "OTP", self._items(), symbols={"hit": "#", "partial": "+", "miss": "."},
+            width=30,
+        )
+        for line in chart.splitlines():
+            if "[" in line:
+                inner = line[line.index("[") + 1 : line.index("]")]
+                assert len(inner) == 30
+
+    def test_empty_parts_handled(self):
+        chart = stacked_bar("OTP", [("x", {"hit": 0.0})], symbols={"hit": "#"})
+        assert "no data" in chart
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar("OTP", [], symbols={})

@@ -1,0 +1,85 @@
+"""Configuration dataclass tests."""
+
+import pytest
+
+from repro.configs import (
+    MetadataConfig,
+    SecurityConfig,
+    SystemConfig,
+    default_config,
+    scheme_config,
+)
+
+
+class TestMetadataConfig:
+    def test_per_message_meta_matches_paper(self):
+        md = MetadataConfig()
+        # MsgCTR 8 B + MsgMAC 8 B + senderID 1 B
+        assert md.per_message_meta_bytes == 17
+
+    def test_batched_block_meta_drops_the_mac(self):
+        md = MetadataConfig()
+        assert md.batched_block_meta_bytes == 9  # CTR + senderID only
+
+
+class TestSecurityConfig:
+    def test_total_otp_entries_match_paper(self):
+        sec = SecurityConfig(otp_multiplier=4)
+        # 4-GPU system: each GPU has 4 peers -> 32 entries (§III-A)
+        assert sec.total_otp_entries(4) == 32
+        # 16-GPU system: 16 peers -> 128 entries (§V-D)
+        assert sec.total_otp_entries(16) == 128
+
+    def test_table3_defaults(self):
+        sec = SecurityConfig()
+        assert sec.aes_gcm_latency == 40
+        assert sec.alpha == 0.9
+        assert sec.beta == 0.5
+        assert sec.interval == 1000
+        assert sec.batch_size == 16
+
+
+class TestSystemConfig:
+    def test_node_accounting(self):
+        cfg = SystemConfig(n_gpus=4)
+        assert cfg.n_nodes == 5  # 4 GPUs + CPU
+        assert cfg.n_peers == 4
+
+    def test_with_security_returns_new_config(self):
+        cfg = SystemConfig()
+        other = cfg.with_security(scheme="private")
+        assert cfg.security.scheme == "unsecure"
+        assert other.security.scheme == "private"
+
+    def test_table3_link_rates(self):
+        cfg = SystemConfig()
+        assert cfg.link.pcie_bytes_per_cycle == 32.0  # 32 GB/s at 1 GHz
+        assert cfg.link.nvlink_bytes_per_cycle == 50.0  # 50 GB/s
+
+    def test_table3_gpu_hierarchy(self):
+        gpu = SystemConfig().gpu
+        assert gpu.l1_size == 16 * 1024 and gpu.l1_assoc == 4
+        assert gpu.l2_size == 2 * 1024 * 1024 and gpu.l2_assoc == 16
+        assert gpu.hbm_bytes_per_cycle == 512.0  # HBM 512 GB/s
+
+
+class TestFactories:
+    def test_scheme_config_batching_alias(self):
+        cfg = scheme_config("batching")
+        assert cfg.security.scheme == "dynamic"
+        assert cfg.security.batching
+
+    def test_scheme_config_passthrough(self):
+        cfg = scheme_config("cached", n_gpus=8, otp_multiplier=2)
+        assert cfg.n_gpus == 8
+        assert cfg.security.scheme == "cached"
+        assert cfg.security.otp_multiplier == 2
+
+    def test_default_config_overrides(self):
+        cfg = default_config(4, scheme="private", aes_gcm_latency=10)
+        assert cfg.security.aes_gcm_latency == 10
+
+    def test_configs_are_frozen(self):
+        cfg = default_config()
+        with pytest.raises(Exception):
+            cfg.n_gpus = 8

@@ -1,0 +1,229 @@
+"""Tests for the paper's core mechanisms: EWMA, the dynamic OTP allocator
+(Formulas 1-4), and the metadata batching controller."""
+
+import pytest
+
+from repro.configs import MetadataConfig
+from repro.core.batching import BatchingController, MsgMacStorage
+from repro.core.dynamic_allocator import DynamicOtpAllocator, largest_remainder
+from repro.core.ewma import Ewma
+
+
+class TestEwma:
+    def test_update_formula(self):
+        e = Ewma(rate=0.9, initial=0.5)
+        e.update(1.0)
+        assert e.value == pytest.approx(0.1 * 0.5 + 0.9 * 1.0)
+
+    def test_high_rate_tracks_current(self):
+        fast = Ewma(0.9, initial=0.0)
+        slow = Ewma(0.1, initial=0.0)
+        for _ in range(3):
+            fast.update(1.0)
+            slow.update(1.0)
+        assert fast.value > slow.value
+
+    def test_converges_to_constant_input(self):
+        e = Ewma(0.5, initial=0.0)
+        for _ in range(50):
+            e.update(0.7)
+        assert e.value == pytest.approx(0.7, abs=1e-6)
+
+    def test_reset(self):
+        e = Ewma(0.5, initial=0.3)
+        e.update(1.0)
+        e.reset(0.3)
+        assert e.value == 0.3 and e.samples == 0
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            Ewma(rate=1.5)
+        with pytest.raises(ValueError):
+            Ewma(rate=-0.1)
+
+
+class TestLargestRemainder:
+    def test_preserves_total(self):
+        shares = largest_remainder(32, [0.61, 0.39])
+        assert sum(shares) == 32
+
+    def test_proportionality(self):
+        shares = largest_remainder(10, [3.0, 1.0])
+        assert shares == [8, 2]
+
+    def test_zero_weights_fall_back_to_even(self):
+        assert largest_remainder(4, [0.0, 0.0]) == [2, 2]
+
+    def test_empty_and_invalid(self):
+        assert largest_remainder(5, []) == []
+        with pytest.raises(ValueError):
+            largest_remainder(-1, [1.0])
+        with pytest.raises(ValueError):
+            largest_remainder(1, [-0.5])
+
+
+class TestDynamicAllocator:
+    def _alloc(self, pool=32, peers=(0, 2, 3, 4)):
+        return DynamicOtpAllocator(list(peers), total_pool=pool, interval=1000)
+
+    def test_even_plan_matches_private(self):
+        plan = self._alloc().even_plan()
+        assert plan.send_total == plan.recv_total == 16
+        assert all(v == 4 for v in plan.send_per_peer.values())
+        assert all(v == 4 for v in plan.recv_per_peer.values())
+
+    def test_send_heavy_traffic_shifts_pool_to_send(self):
+        alloc = self._alloc()
+        for _ in range(90):
+            alloc.record_send(2)
+        for _ in range(10):
+            alloc.record_recv(3)
+        plan = alloc.adjust()
+        assert plan.send_total > plan.recv_total
+        plan.validate(32)
+
+    def test_hot_peer_gets_more_pads(self):
+        alloc = self._alloc()
+        for _ in range(80):
+            alloc.record_send(2)
+        for _ in range(20):
+            alloc.record_send(3)
+        plan = alloc.adjust()
+        assert plan.send_per_peer[2] > plan.send_per_peer[3]
+        assert plan.send_per_peer[3] >= plan.send_per_peer[4]
+
+    def test_counters_reset_each_interval(self):
+        alloc = self._alloc()
+        alloc.record_send(2)
+        alloc.adjust()
+        assert alloc.interval_send_total == 0
+
+    def test_empty_interval_keeps_weights(self):
+        alloc = self._alloc()
+        before = alloc.send_weight.value
+        plan = alloc.adjust()
+        assert alloc.send_weight.value == before
+        plan.validate(32)
+
+    def test_maybe_adjust_honours_interval(self):
+        alloc = self._alloc()
+        alloc.record_send(2)
+        assert alloc.maybe_adjust(now=999) is None
+        assert alloc.maybe_adjust(now=1000) is not None
+        assert alloc.interval_start == 1000
+        assert alloc.maybe_adjust(now=1500) is None
+
+    def test_maybe_adjust_skips_whole_empty_gaps(self):
+        alloc = self._alloc()
+        alloc.maybe_adjust(now=5500)
+        assert alloc.interval_start == 5000
+
+    def test_paper_formula_1(self):
+        # One interval with SReq=75, RReq=25 from S_0=0.5, alpha=0.9:
+        # S_1 = 0.1*0.5 + 0.9*0.75 = 0.725
+        alloc = DynamicOtpAllocator([2], total_pool=8, alpha=0.9, beta=0.5)
+        for _ in range(75):
+            alloc.record_send(2)
+        for _ in range(25):
+            alloc.record_recv(2)
+        alloc.adjust()
+        assert alloc.send_weight.value == pytest.approx(0.725)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicOtpAllocator([], 8)
+        with pytest.raises(ValueError):
+            DynamicOtpAllocator([1], -1)
+        with pytest.raises(ValueError):
+            DynamicOtpAllocator([1], 8, interval=0)
+
+
+class TestBatchingController:
+    def _controller(self, batch_size=4, timeout=100):
+        return BatchingController(MetadataConfig(), batch_size, timeout)
+
+    def test_first_block_opens_with_length_byte(self):
+        c = self._controller()
+        g = c.add_block(peer=2, now=0)
+        assert g.opens_batch and not g.closes_batch
+        md = MetadataConfig()
+        assert g.meta_bytes == md.batched_block_meta_bytes + md.batch_len_bytes
+
+    def test_middle_blocks_carry_ctr_and_id_only(self):
+        c = self._controller()
+        c.add_block(2, 0)
+        g = c.add_block(2, 1)
+        assert g.meta_bytes == MetadataConfig().batched_block_meta_bytes
+
+    def test_batch_closes_at_size_with_mac(self):
+        c = self._controller(batch_size=3)
+        c.add_block(2, 0)
+        c.add_block(2, 1)
+        g = c.add_block(2, 2)
+        assert g.closes_batch and g.batch_size == 3
+        md = MetadataConfig()
+        assert g.meta_bytes == md.batched_block_meta_bytes + md.msg_mac_bytes
+        assert c.batches_closed_full == 1
+        # next block opens a new batch
+        assert c.add_block(2, 3).opens_batch
+
+    def test_batches_are_per_peer(self):
+        c = self._controller(batch_size=2)
+        c.add_block(2, 0)
+        g = c.add_block(3, 0)
+        assert g.opens_batch
+        assert c.open_batch(2) is not None and c.open_batch(3) is not None
+
+    def test_timeout_close(self):
+        c = self._controller(batch_size=16)
+        g = c.add_block(2, 0)
+        closed = c.timeout_close(2, g.batch_id)
+        assert closed == 1
+        assert c.batches_closed_timeout == 1
+        assert c.open_batch(2) is None
+
+    def test_stale_timeout_ignored(self):
+        c = self._controller(batch_size=2)
+        g1 = c.add_block(2, 0)
+        c.add_block(2, 1)  # closes batch g1
+        assert c.timeout_close(2, g1.batch_id) is None
+
+    def test_batched_meta_is_smaller_than_conventional(self):
+        c = self._controller(batch_size=16)
+        md = MetadataConfig()
+        total_batched = sum(c.add_block(2, t).meta_bytes for t in range(16))
+        total_conventional = 16 * md.per_message_meta_bytes
+        assert total_batched < total_conventional
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._controller(batch_size=0)
+        with pytest.raises(ValueError):
+            self._controller(timeout=0)
+
+
+class TestMsgMacStorage:
+    def test_store_and_release(self):
+        s = MsgMacStorage(capacity_per_pair=4)
+        for _ in range(3):
+            s.store(sender=1)
+        assert s.occupancy(1) == 3
+        s.release_batch(1, 3)
+        assert s.occupancy(1) == 0
+        assert s.max_occupancy == 3
+
+    def test_overflow_counted_not_fatal(self):
+        s = MsgMacStorage(capacity_per_pair=2)
+        for _ in range(3):
+            s.store(1)
+        assert s.overflows == 1
+
+    def test_release_more_than_stored_raises(self):
+        s = MsgMacStorage()
+        s.store(1)
+        with pytest.raises(ValueError):
+            s.release_batch(1, 2)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MsgMacStorage(0)

@@ -1,0 +1,119 @@
+"""Counter-mode OTP and MAC construction tests."""
+
+import pytest
+
+from repro.crypto.counter_mode import (
+    AUTH_PAD_BYTES,
+    ENC_PAD_BYTES,
+    OneTimePad,
+    PadGenerator,
+    make_seed,
+)
+from repro.crypto.mac import MessageMAC, batched_mac, truncate_mac
+
+KEY = bytes(range(16))
+
+
+def test_seed_encodes_all_identity_fields():
+    s1 = make_seed(7, 1, 2)
+    s2 = make_seed(8, 1, 2)
+    s3 = make_seed(7, 3, 2)
+    s4 = make_seed(7, 1, 4)
+    assert len({s1, s2, s3, s4}) == 4
+
+
+def test_seed_without_receiver_matches_shared_scheme():
+    assert make_seed(5, 1, None) != make_seed(5, 1, 2)
+    assert make_seed(5, 1, None) == make_seed(5, 1, None)
+
+
+def test_seed_rejects_negative_counter():
+    with pytest.raises(ValueError):
+        make_seed(-1, 0, 1)
+
+
+def test_pad_sizes():
+    pad = PadGenerator(KEY).generate(0, 1, 2)
+    assert len(pad.enc_pad) == ENC_PAD_BYTES
+    assert len(pad.auth_pad) == AUTH_PAD_BYTES
+
+
+def test_pads_unique_per_counter_and_pair():
+    gen = PadGenerator(KEY)
+    pads = {
+        gen.generate(c, s, r).enc_pad
+        for c in range(3)
+        for s in range(2)
+        for r in range(2)
+        if s != r
+    }
+    assert len(pads) == 3 * 2  # (s,r) in {(0,1),(1,0)} x 3 counters
+
+
+def test_encrypt_decrypt_round_trip():
+    pad = PadGenerator(KEY).generate(12, 0, 3)
+    payload = bytes(range(64))
+    ciphertext = pad.encrypt(payload)
+    assert ciphertext != payload
+    assert pad.decrypt(ciphertext) == payload
+
+
+def test_encrypt_rejects_oversized_payload():
+    pad = PadGenerator(KEY).generate(0, 0, 1)
+    with pytest.raises(ValueError):
+        pad.encrypt(bytes(65))
+
+
+def test_deterministic_generation():
+    g1 = PadGenerator(KEY)
+    g2 = PadGenerator(KEY)
+    assert g1.generate(9, 2, 5).enc_pad == g2.generate(9, 2, 5).enc_pad
+
+
+def test_lane_separation_no_repeated_blocks():
+    pad = PadGenerator(KEY).generate(0, 0, 1)
+    lanes = [pad.enc_pad[i : i + 16] for i in range(0, 64, 16)]
+    assert len(set(lanes)) == 4
+    assert pad.auth_pad not in lanes
+
+
+def test_message_mac_verifies_and_rejects_tampering():
+    gen = PadGenerator(KEY)
+    mac = MessageMAC(hash_key=bytes(15) + b"\x01")
+    pad = gen.generate(4, 1, 2)
+    ciphertext = pad.encrypt(b"x" * 64)
+    tag = mac.compute(ciphertext, pad)
+    assert len(tag) == 8
+    assert mac.verify(ciphertext, pad, tag)
+    assert not mac.verify(ciphertext[:-1] + b"!", pad, tag)
+
+
+def test_mac_depends_on_pad():
+    gen = PadGenerator(KEY)
+    mac = MessageMAC(hash_key=bytes(15) + b"\x01")
+    ciphertext = b"y" * 64
+    t1 = mac.compute(ciphertext, gen.generate(0, 1, 2))
+    t2 = mac.compute(ciphertext, gen.generate(1, 1, 2))
+    assert t1 != t2
+
+
+def test_batched_mac_sensitive_to_order_and_members():
+    hk = bytes(15) + b"\x02"
+    macs = [bytes([i]) * 8 for i in range(4)]
+    whole = batched_mac(hk, macs)
+    assert whole != batched_mac(hk, list(reversed(macs)))
+    assert whole != batched_mac(hk, macs[:3])
+    assert whole == batched_mac(hk, list(macs))
+
+
+def test_batched_mac_rejects_empty_batch():
+    with pytest.raises(ValueError):
+        batched_mac(bytes(16), [])
+
+
+def test_truncate_mac_bounds():
+    with pytest.raises(ValueError):
+        truncate_mac(bytes(16), 0)
+    with pytest.raises(ValueError):
+        truncate_mac(bytes(8), 9)
+    assert truncate_mac(bytes(16), 4) == bytes(4)

@@ -1,0 +1,98 @@
+"""AES-GCM validated against the NIST GCM specification test cases."""
+
+import pytest
+
+from repro.crypto.gcm import AESGCM, ghash
+
+
+def test_gcm_test_case_1_empty():
+    # McGrew-Viega GCM spec, test case 1: empty plaintext, empty AAD.
+    key = bytes(16)
+    iv = bytes(12)
+    gcm = AESGCM(key)
+    ciphertext, tag = gcm.encrypt(iv, b"")
+    assert ciphertext == b""
+    assert tag == bytes.fromhex("58e2fccefa7e3061367f1d57a4e7455a")
+
+
+def test_gcm_test_case_2_single_block():
+    key = bytes(16)
+    iv = bytes(12)
+    plaintext = bytes(16)
+    gcm = AESGCM(key)
+    ciphertext, tag = gcm.encrypt(iv, plaintext)
+    assert ciphertext == bytes.fromhex("0388dace60b6a392f328c2b971b2fe78")
+    assert tag == bytes.fromhex("ab6e47d42cec13bdf53a67b21257bddf")
+
+
+def test_gcm_test_case_3_four_blocks():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255"
+    )
+    gcm = AESGCM(key)
+    ciphertext, tag = gcm.encrypt(iv, plaintext)
+    assert ciphertext == bytes.fromhex(
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985"
+    )
+    assert tag == bytes.fromhex("4d5c2af327cd64a62cf35abd2ba6fab4")
+
+
+def test_gcm_test_case_4_with_aad():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39"
+    )
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    gcm = AESGCM(key)
+    ciphertext, tag = gcm.encrypt(iv, plaintext, aad)
+    assert ciphertext == bytes.fromhex(
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091"
+    )
+    assert tag == bytes.fromhex("5bc94fbc3221a5db94fae95ae7121a47")
+
+
+def test_gcm_round_trip_and_forgery_detection():
+    gcm = AESGCM(b"0123456789abcdef")
+    iv = b"unique-iv-01"
+    plaintext = b"secret cacheline payload, 64 bytes long, moved between GPUs..!!"
+    aad = b"hdr"
+    ciphertext, tag = gcm.encrypt(iv, plaintext, aad)
+    assert gcm.decrypt(iv, ciphertext, tag, aad) == plaintext
+    tampered = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(ValueError):
+        gcm.decrypt(iv, tampered, tag, aad)
+    with pytest.raises(ValueError):
+        gcm.decrypt(iv, ciphertext, tag, b"other-aad")
+
+
+def test_gcm_non_96bit_iv_path():
+    gcm = AESGCM(bytes(16))
+    iv = bytes(range(16))  # 128-bit IV exercises the GHASH-IV path
+    ciphertext, tag = gcm.encrypt(iv, b"hello multi-GPU world")
+    assert gcm.decrypt(iv, ciphertext, tag) == b"hello multi-GPU world"
+
+
+def test_ghash_zero_inputs_is_zero():
+    assert ghash(bytes(16), b"", b"") == bytes(16)
+
+
+def test_ciphertext_differs_across_ivs():
+    gcm = AESGCM(bytes(16))
+    c1, _ = gcm.encrypt(b"aaaaaaaaaaaa", b"same plaintext!!")
+    c2, _ = gcm.encrypt(b"bbbbbbbbbbbb", b"same plaintext!!")
+    assert c1 != c2

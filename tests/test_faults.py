@@ -1,0 +1,92 @@
+"""Adversarial fault injection: every attack must be caught by real crypto."""
+
+import pytest
+
+from repro.configs import default_config
+from repro.secure.audit import AuditEntry
+from repro.secure.faults import AttackPlan, adversarial_replay, plan_attacks
+from repro.system import MultiGpuSystem
+from repro.workloads import get_workload
+
+
+def audited_log(scheme="private", batching=False, workload="fir", scale=0.05):
+    config = default_config(4, scheme=scheme, batching=batching, audit=True)
+    trace = get_workload(workload).generate(4, seed=1, scale=scale)
+    system = MultiGpuSystem(config)
+    system.run(trace)
+    return system.transport.audit_log
+
+
+class TestPlanAttacks:
+    def test_rates_select_victims(self):
+        log = [AuditEntry(1, 2, c, False, False, 0) for c in range(200)]
+        plan = plan_attacks(log, tamper_rate=0.2, replay_rate=0.2, seed=3)
+        assert plan.tampered and plan.replayed
+        assert not plan.tampered & plan.replayed
+        assert plan.total < 200
+
+    def test_timeout_entries_never_attacked(self):
+        log = [AuditEntry(1, 2, -1, True, True, 4, timeout_close=True)] * 10
+        plan = plan_attacks(log, tamper_rate=1.0, replay_rate=0.0)
+        assert plan.total == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            plan_attacks([], tamper_rate=1.5)
+        with pytest.raises(ValueError):
+            plan_attacks([], tamper_rate=0.7, replay_rate=0.7)
+
+
+class TestAdversarialReplay:
+    def test_conventional_tampers_all_detected(self):
+        log = audited_log(scheme="private")
+        plan = plan_attacks(log, tamper_rate=0.1, replay_rate=0.0, seed=1)
+        assert plan.tampered
+        report = adversarial_replay(log, plan)
+        assert report.all_detected, report.clean_failures
+        assert report.tampers_detected == report.tampers_injected > 0
+
+    def test_replays_all_detected(self):
+        log = audited_log(scheme="private")
+        plan = plan_attacks(log, tamper_rate=0.0, replay_rate=0.1, seed=2)
+        assert plan.replayed
+        report = adversarial_replay(log, plan)
+        assert report.all_detected, report.clean_failures
+        assert report.replays_detected == report.replays_injected > 0
+
+    def test_batched_tampers_caught_at_batch_mac(self):
+        log = audited_log(scheme="dynamic", batching=True, workload="kmeans", scale=0.08)
+        plan = plan_attacks(log, tamper_rate=0.05, replay_rate=0.0, seed=4)
+        assert plan.tampered
+        report = adversarial_replay(log, plan)
+        assert report.all_detected, report.clean_failures
+
+    def test_mixed_attack_campaign(self):
+        log = audited_log(scheme="dynamic", batching=True, workload="kmeans", scale=0.08)
+        plan = plan_attacks(log, tamper_rate=0.04, replay_rate=0.04, seed=5)
+        report = adversarial_replay(log, plan)
+        assert report.all_detected, report.clean_failures
+        assert report.messages > 0
+
+    def test_no_attacks_means_clean_run(self):
+        log = audited_log(scheme="private")
+        report = adversarial_replay(log, AttackPlan(frozenset(), frozenset()))
+        assert report.all_detected
+        assert report.tampers_injected == report.replays_injected == 0
+
+
+class TestBidirectionalBatches:
+    def test_send_and_recv_mac_stores_are_separate(self):
+        """Regression: A<->B batched traffic must not collide in storage."""
+        from repro.secure.protocol import SecureEndpoint
+
+        a = SecureEndpoint(1, bytes(16), bytes(range(16)))
+        b = SecureEndpoint(2, bytes(16), bytes(range(16)))
+        # interleave batched blocks in both directions with equal counters
+        wires_ab = [a.send_block(2, bytes([i]) * 8, in_batch=True) for i in range(4)]
+        wires_ba = [b.send_block(1, bytes([i + 50]) * 8, in_batch=True) for i in range(4)]
+        for wab, wba in zip(wires_ab, wires_ba):
+            b.receive_block(wab)
+            a.receive_block(wba)
+        assert b.verify_batch(a.close_batch(2))
+        assert a.verify_batch(b.close_batch(1))

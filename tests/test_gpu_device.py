@@ -1,0 +1,214 @@
+"""GPU device model tests against a fixed-delay fake transport."""
+
+import pytest
+
+from repro.configs import GpuConfig, MigrationConfig
+from repro.gpu.compute_unit import ComputeUnitLane, LaneState
+from repro.gpu.cpu import HostCpu
+from repro.gpu.gpu import GpuDevice
+from repro.interconnect.packet import PacketKind
+from repro.memory.address_space import BLOCK_BYTES, PAGE_BYTES
+from repro.memory.migration import AccessCounterMigrationPolicy, MigrationCost
+from repro.memory.page_table import PageTable
+from repro.workloads.base import Access, AccessKind, GpuTrace
+
+
+def make_gpu(sim, transport, owners, node=1, threshold=100, **gpu_overrides):
+    pt = PageTable(owners)
+    policy = AccessCounterMigrationPolicy(
+        pt, threshold=threshold, cost=MigrationCost(driver_cycles=50, shootdown_cycles=20)
+    )
+    cfg = GpuConfig(**gpu_overrides) if gpu_overrides else GpuConfig()
+    gpu = GpuDevice(
+        node_id=node,
+        sim=sim,
+        cfg=cfg,
+        transport=transport,
+        page_table=pt,
+        migration_policy=policy,
+        migration_cfg=MigrationConfig(driver_cycles=50, shootdown_cycles=20),
+    )
+    return gpu, pt
+
+
+def reads(addresses, gap=1):
+    return [Access(gap=gap, address=a) for a in addresses]
+
+
+class TestComputeUnitLane:
+    def test_state_progression(self):
+        lane = ComputeUnitLane(0, reads([0, 64], gap=5), max_outstanding=1)
+        assert lane.state(0) is LaneState.WAITING
+        assert lane.state(5) is LaneState.READY
+        lane.issue(5, consumes_slot=True)
+        assert lane.state(10) is LaneState.BLOCKED
+        lane.complete()
+        assert lane.state(10) is LaneState.READY
+        lane.issue(10, consumes_slot=False)
+        assert lane.state(10) is LaneState.DONE
+        assert lane.drained
+
+    def test_gap_measured_from_issue(self):
+        lane = ComputeUnitLane(0, reads([0, 64], gap=3))
+        lane.issue(7, consumes_slot=False)
+        assert lane.ready_at == 10
+
+    def test_issue_when_not_ready_raises(self):
+        lane = ComputeUnitLane(0, reads([0], gap=10))
+        with pytest.raises(RuntimeError):
+            lane.issue(0, consumes_slot=False)
+
+    def test_complete_without_outstanding_raises(self):
+        lane = ComputeUnitLane(0, [])
+        with pytest.raises(RuntimeError):
+            lane.complete()
+
+    def test_empty_trace_is_drained(self):
+        lane = ComputeUnitLane(0, [])
+        assert lane.drained and lane.finished
+
+
+class TestGpuLocalExecution:
+    def test_pure_local_reads_finish(self, sim, fake_transport):
+        # GPU 1 owns page 1; all accesses local.
+        gpu, _ = make_gpu(sim, fake_transport, {1: 1})
+        addrs = [PAGE_BYTES + i * BLOCK_BYTES for i in range(8)]
+        gpu.load_trace(GpuTrace(lanes=[reads(addrs)], instructions=1000))
+        gpu.start()
+        sim.run()
+        assert gpu.finish_cycle is not None
+        assert gpu.remote_requests == 0
+        assert gpu._local_accesses.value == 8
+        assert fake_transport.sent == []
+
+    def test_cache_hits_filter_memory_traffic(self, sim, fake_transport):
+        gpu, _ = make_gpu(sim, fake_transport, {1: 1})
+        addr = PAGE_BYTES
+        # serial accesses (gap larger than walk+HBM) so the first fill lands
+        # before the next lookup; the remaining nine then hit in L1
+        gpu.load_trace(GpuTrace(lanes=[reads([addr] * 10, gap=500)], instructions=100))
+        gpu.start()
+        sim.run()
+        assert gpu._cache_hits.value == 9
+        assert gpu.hbm.accesses == 1
+
+    def test_rpki_computation(self, sim, fake_transport):
+        gpu, _ = make_gpu(sim, fake_transport, {1: 1})
+        gpu.load_trace(GpuTrace(lanes=[reads([PAGE_BYTES])], instructions=2000))
+        gpu.start()
+        sim.run()
+        assert gpu.rpki() == 0.0
+
+
+class TestGpuRemoteExecution:
+    def _run_remote(self, sim, fake_transport, n_blocks=4, **overrides):
+        # GPU 1's accesses land on a page owned by the CPU (node 0).
+        gpu, pt = make_gpu(sim, fake_transport, {0: 0}, **overrides)
+        HostCpu(sim, fake_transport)
+        addrs = [i * BLOCK_BYTES for i in range(n_blocks)]
+        gpu.load_trace(GpuTrace(lanes=[reads(addrs)], instructions=1000))
+        gpu.start()
+        sim.run()
+        return gpu
+
+    def test_remote_reads_round_trip(self, sim, fake_transport):
+        gpu = self._run_remote(sim, fake_transport, n_blocks=4)
+        assert gpu.finish_cycle is not None
+        kinds = [p.kind for p in fake_transport.sent]
+        assert kinds.count(PacketKind.READ_REQ) == 4
+        assert kinds.count(PacketKind.DATA_RESP) == 4
+        assert gpu.remote_requests == 4
+        assert gpu.rpki() == pytest.approx(4.0)
+
+    def test_duplicate_block_requests_merge(self, sim, fake_transport):
+        gpu, _ = make_gpu(sim, fake_transport, {0: 0}, lane_outstanding=8)
+        HostCpu(sim, fake_transport)
+        # two lanes read the same block at the same time: one fetch expected
+        lanes = [reads([0], gap=0), reads([0], gap=0)]
+        gpu.load_trace(GpuTrace(lanes=lanes, instructions=100))
+        gpu.start()
+        sim.run()
+        reqs = [p for p in fake_transport.sent if p.kind is PacketKind.READ_REQ]
+        assert len(reqs) == 1
+        assert gpu.directory.merged == 1
+        assert gpu.finish_cycle is not None
+
+    def test_remote_write_completes_via_ack(self, sim, fake_transport):
+        gpu, _ = make_gpu(sim, fake_transport, {0: 0})
+        HostCpu(sim, fake_transport)
+        trace = [Access(gap=1, address=0, kind=AccessKind.WRITE)]
+        gpu.load_trace(GpuTrace(lanes=[trace], instructions=100))
+        gpu.start()
+        sim.run()
+        kinds = [p.kind for p in fake_transport.sent]
+        assert PacketKind.WRITE_REQ in kinds
+        assert PacketKind.WRITE_ACK in kinds
+        assert gpu.finish_cycle is not None
+
+    def test_second_read_of_same_block_hits_l2(self, sim, fake_transport):
+        gpu = self._run_remote(sim, fake_transport, n_blocks=1)
+        assert gpu._cache_hits.value == 0
+        # re-run same address: already filled into L2+L1 by the response
+        assert gpu.l2.contains(0)
+
+    def test_global_window_throttles_issue(self, sim, fake_transport):
+        gpu, _ = make_gpu(
+            sim, fake_transport, {0: 0}, max_outstanding=2, n_lanes=1, lane_outstanding=64
+        )
+        HostCpu(sim, fake_transport)
+        addrs = [i * BLOCK_BYTES for i in range(8)]
+        gpu.load_trace(GpuTrace(lanes=[reads(addrs, gap=0)], instructions=100))
+        gpu.start()
+        # after the first pump, at most 2 requests may be outstanding
+        sim.step()  # initial pump event
+        reqs = [p for p in fake_transport.sent if p.kind is PacketKind.READ_REQ]
+        assert len(reqs) == 2
+        sim.run()
+        assert gpu.finish_cycle is not None
+        assert gpu.remote_requests == 8
+
+
+class TestMigration:
+    def test_threshold_triggers_page_pull(self, sim, fake_transport):
+        gpu, pt = make_gpu(sim, fake_transport, {0: 0}, threshold=3)
+        HostCpu(sim, fake_transport)
+        # 6 distinct blocks of the same CPU page, reads cross the threshold
+        addrs = [i * BLOCK_BYTES for i in range(6)]
+        gpu.load_trace(GpuTrace(lanes=[reads(addrs, gap=2)], instructions=100))
+        gpu.start()
+        sim.run()
+        assert pt.owner(0) == 1
+        assert pt.migrations == 1
+        kinds = [p.kind for p in fake_transport.sent]
+        assert kinds.count(PacketKind.MIGRATION_REQ) == 1
+        assert kinds.count(PacketKind.MIGRATION_DATA) == 64
+
+    def test_pinned_page_never_migrates(self, sim, fake_transport):
+        gpu, pt = make_gpu(sim, fake_transport, {0: 0}, threshold=2)
+        gpu.migration_policy.pin(0)
+        HostCpu(sim, fake_transport)
+        addrs = [i * BLOCK_BYTES for i in range(6)]
+        gpu.load_trace(GpuTrace(lanes=[reads(addrs, gap=2)], instructions=100))
+        gpu.start()
+        sim.run()
+        assert pt.owner(0) == 0
+        assert pt.migrations == 0
+
+    def test_migration_commit_callback_fires(self, sim, fake_transport):
+        commits = []
+        gpu, pt = make_gpu(sim, fake_transport, {0: 0}, threshold=1)
+        gpu.on_migration_commit = lambda page, old, new: commits.append((page, old, new))
+        HostCpu(sim, fake_transport)
+        gpu.load_trace(GpuTrace(lanes=[reads([0, 64], gap=2)], instructions=100))
+        gpu.start()
+        sim.run()
+        assert commits == [(0, 0, 1)]
+
+    def test_invalidate_page_clears_state(self, sim, fake_transport):
+        gpu, _ = make_gpu(sim, fake_transport, {1: 1})
+        gpu.load_trace(GpuTrace(lanes=[reads([PAGE_BYTES])], instructions=10))
+        gpu.start()
+        sim.run()
+        assert gpu.l2.contains(PAGE_BYTES)
+        gpu.invalidate_page(1)
+        assert not gpu.l2.contains(PAGE_BYTES)

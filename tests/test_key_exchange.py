@@ -1,0 +1,94 @@
+"""Boot-time key exchange tests."""
+
+import pytest
+
+from repro.crypto.key_exchange import (
+    G,
+    P,
+    KeyExchange,
+    KeyShare,
+    derive_key,
+    establish_session,
+    is_probable_prime,
+)
+from repro.secure.protocol import SecureEndpoint
+
+
+class TestDiffieHellman:
+    def test_both_sides_agree(self):
+        a = KeyExchange(0, private_exponent=0x1234567890ABCDEF)
+        b = KeyExchange(1, private_exponent=0xFEDCBA0987654321)
+        assert a.shared_secret(b.share()) == b.shared_secret(a.share())
+
+    def test_third_party_disagrees(self):
+        a = KeyExchange(0, 3_000_000_007)
+        b = KeyExchange(1, 5_000_000_029)
+        eve = KeyExchange(2, 7_000_000_003)
+        assert a.shared_secret(b.share()) != eve.shared_secret(b.share())
+
+    def test_group_parameters(self):
+        assert P.bit_length() == 2048
+        assert G == 2
+        # the pi-derived constant must match RFC 3526 group 14's leading
+        # and trailing words and actually be a safe prime
+        assert hex(P)[2:18].upper() == "FFFFFFFFFFFFFFFF"
+        assert P % 2 == 1
+        assert is_probable_prime(P)
+        assert is_probable_prime((P - 1) // 2)  # safe prime
+
+    def test_miller_rabin_basics(self):
+        assert is_probable_prime(2) and is_probable_prime(97)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(561)  # Carmichael number
+        assert not is_probable_prime(2047)  # strong pseudoprime base 2 only
+
+    def test_degenerate_public_rejected(self):
+        a = KeyExchange(0, 12345678901234567)
+        for bad in (0, 1, P - 1, P):
+            with pytest.raises(ValueError):
+                a.shared_secret(KeyShare(node_id=1, public=bad))
+
+    def test_private_exponent_validated(self):
+        with pytest.raises(ValueError):
+            KeyExchange(0, 1)
+
+
+class TestKeyDerivation:
+    SECRET = b"shared secret bytes" * 4
+
+    def test_keys_are_16_bytes_and_deterministic(self):
+        k1 = derive_key(self.SECRET, 0, 1, "enc")
+        k2 = derive_key(self.SECRET, 0, 1, "enc")
+        assert k1 == k2 and len(k1) == 16
+
+    def test_purpose_separation(self):
+        assert derive_key(self.SECRET, 0, 1, "enc") != derive_key(self.SECRET, 0, 1, "mac")
+
+    def test_direction_separation(self):
+        assert derive_key(self.SECRET, 0, 1, "enc") != derive_key(self.SECRET, 1, 0, "enc")
+
+    def test_secret_separation(self):
+        assert derive_key(self.SECRET, 0, 1, "enc") != derive_key(b"other" * 8, 0, 1, "enc")
+
+    def test_same_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key(self.SECRET, 1, 1, "enc")
+
+
+class TestSessionEstablishment:
+    def test_establish_and_protect_traffic(self):
+        cpu = KeyExchange(0, 0xA5A5A5A5A5A5A5A5A5A5)
+        gpu = KeyExchange(1, 0x5A5A5A5A5A5A5A5A5A5A)
+        cpu_keys, gpu_keys = establish_session(cpu, gpu)
+        assert cpu_keys == gpu_keys
+        # the derived keys actually drive the secure protocol end to end
+        sender = SecureEndpoint(0, cpu_keys["enc"], cpu_keys["mac"])
+        receiver = SecureEndpoint(1, gpu_keys["enc"], gpu_keys["mac"])
+        wire = sender.send_block(1, b"boot-strapped secure channel")
+        assert receiver.receive_block(wire) == b"boot-strapped secure channel"
+
+    def test_distinct_pairs_get_distinct_keys(self):
+        exchanges = {n: KeyExchange(n, 10**9 + 7 + n * 12345) for n in range(3)}
+        k01, _ = establish_session(exchanges[0], exchanges[1])
+        k02, _ = establish_session(exchanges[0], exchanges[2])
+        assert k01["enc"] != k02["enc"]

@@ -1,0 +1,189 @@
+"""Unified-memory substrate tests."""
+
+import pytest
+
+from repro.memory.address_space import (
+    AddressSpace,
+    BLOCKS_PER_PAGE,
+    PAGE_BYTES,
+    Placement,
+    block_of,
+    page_of,
+)
+from repro.memory.directory import BlockDirectory
+from repro.memory.migration import (
+    AccessCounterMigrationPolicy,
+    MigrationCost,
+    MigrationDecision,
+)
+from repro.memory.page_table import PageTable
+
+
+class TestAddressSpace:
+    def test_page_and_block_math(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_BYTES) == 1
+        assert block_of(64) == 1
+        assert BLOCKS_PER_PAGE == 64
+
+    def test_alloc_owner_placement(self):
+        space = AddressSpace(gpu_nodes=[1, 2])
+        arr = space.alloc("input", 3 * PAGE_BYTES, Placement.OWNER, owner=0)
+        first = page_of(arr.base)
+        assert all(space.initial_owner(first + i) == 0 for i in range(3))
+
+    def test_alloc_interleaved_placement(self):
+        space = AddressSpace(gpu_nodes=[1, 2, 3])
+        arr = space.alloc("a", 6 * PAGE_BYTES, Placement.INTERLEAVED)
+        first = page_of(arr.base)
+        owners = [space.initial_owner(first + i) for i in range(6)]
+        assert owners == [1, 2, 3, 1, 2, 3]
+
+    def test_alloc_blocked_placement(self):
+        space = AddressSpace(gpu_nodes=[1, 2])
+        arr = space.alloc("a", 4 * PAGE_BYTES, Placement.BLOCKED)
+        first = page_of(arr.base)
+        owners = [space.initial_owner(first + i) for i in range(4)]
+        assert owners == [1, 1, 2, 2]
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace(gpu_nodes=[1])
+        a = space.alloc("a", PAGE_BYTES + 1, Placement.INTERLEAVED)
+        b = space.alloc("b", PAGE_BYTES, Placement.INTERLEAVED)
+        assert b.base >= a.base + 2 * PAGE_BYTES  # a occupies 2 pages
+
+    def test_array_addressing(self):
+        space = AddressSpace(gpu_nodes=[1])
+        arr = space.alloc("a", PAGE_BYTES, Placement.INTERLEAVED)
+        assert arr.addr(0) == arr.base
+        assert arr.block_addr(2) == arr.base + 128
+        with pytest.raises(IndexError):
+            arr.addr(PAGE_BYTES)
+
+    def test_duplicate_and_invalid_allocs(self):
+        space = AddressSpace(gpu_nodes=[1])
+        space.alloc("a", 64, Placement.INTERLEAVED)
+        with pytest.raises(ValueError):
+            space.alloc("a", 64, Placement.INTERLEAVED)
+        with pytest.raises(ValueError):
+            space.alloc("b", 0, Placement.INTERLEAVED)
+        with pytest.raises(ValueError):
+            space.alloc("c", 64, Placement.OWNER)  # owner missing
+
+    def test_unallocated_page_raises(self):
+        space = AddressSpace(gpu_nodes=[1])
+        with pytest.raises(KeyError):
+            space.initial_owner(999999)
+
+
+class TestPageTable:
+    def test_owner_and_migrate(self):
+        pt = PageTable({10: 1, 11: 2})
+        assert pt.owner(10) == 1
+        old = pt.migrate(10, 3)
+        assert old == 1
+        assert pt.owner(10) == 3
+        assert pt.migrations == 1
+
+    def test_migrate_to_same_owner_rejected(self):
+        pt = PageTable({10: 1})
+        with pytest.raises(ValueError):
+            pt.migrate(10, 1)
+
+    def test_access_counts_and_reset_on_migration(self):
+        pt = PageTable({5: 1})
+        assert pt.record_access(5, 2) == 1
+        assert pt.record_access(5, 2) == 2
+        assert pt.record_access(5, 3) == 1
+        pt.migrate(5, 2)
+        assert pt.access_count(5, 2) == 0
+
+    def test_unmapped_page_raises(self):
+        pt = PageTable({})
+        with pytest.raises(KeyError):
+            pt.owner(1)
+
+    def test_pages_owned_by(self):
+        pt = PageTable({1: 1, 2: 2, 3: 1})
+        assert sorted(pt.pages_owned_by(1)) == [1, 3]
+        assert len(pt) == 3
+
+
+class TestMigrationPolicy:
+    def _policy(self, threshold=3):
+        pt = PageTable({7: 1})
+        return AccessCounterMigrationPolicy(pt, threshold=threshold), pt
+
+    def test_direct_access_below_threshold(self):
+        policy, _ = self._policy(threshold=3)
+        assert policy.on_remote_access(7, 2) is MigrationDecision.DIRECT_ACCESS
+        assert policy.on_remote_access(7, 2) is MigrationDecision.DIRECT_ACCESS
+        assert policy.on_remote_access(7, 2) is MigrationDecision.MIGRATE
+
+    def test_counters_are_per_accessor(self):
+        policy, _ = self._policy(threshold=2)
+        assert policy.on_remote_access(7, 2) is MigrationDecision.DIRECT_ACCESS
+        assert policy.on_remote_access(7, 3) is MigrationDecision.DIRECT_ACCESS
+        assert policy.on_remote_access(7, 2) is MigrationDecision.MIGRATE
+
+    def test_pinned_pages_never_migrate(self):
+        policy, _ = self._policy(threshold=1)
+        policy.pin(7)
+        for _ in range(5):
+            assert policy.on_remote_access(7, 2) is MigrationDecision.DIRECT_ACCESS
+
+    def test_pin_array_pages(self):
+        policy, _ = self._policy()
+        policy.pin_array_pages(100, 3)
+        assert policy.is_pinned(101)
+        assert not policy.is_pinned(103)
+
+    def test_commit_updates_page_table(self):
+        policy, pt = self._policy(threshold=1)
+        assert policy.on_remote_access(7, 2) is MigrationDecision.MIGRATE
+        old = policy.commit_migration(7, 2)
+        assert old == 1 and pt.owner(7) == 2
+
+    def test_cost_cycles(self):
+        pt = PageTable({1: 1})
+        policy = AccessCounterMigrationPolicy(
+            pt, threshold=1, cost=MigrationCost(driver_cycles=10, shootdown_cycles=5)
+        )
+        assert policy.total_cost_cycles == 15
+
+    def test_threshold_validation(self):
+        pt = PageTable({})
+        with pytest.raises(ValueError):
+            AccessCounterMigrationPolicy(pt, threshold=0)
+
+
+class TestBlockDirectory:
+    def test_first_request_issues_later_merge(self):
+        d = BlockDirectory()
+        seen = []
+        assert d.request(1, 100, lambda t: seen.append(("a", t))) is True
+        assert d.request(1, 100, lambda t: seen.append(("b", t))) is False
+        assert d.in_flight(1, 100)
+        assert d.complete(1, 100, 55) == 2
+        assert seen == [("a", 55), ("b", 55)]
+        assert not d.in_flight(1, 100)
+
+    def test_distinct_nodes_do_not_merge(self):
+        d = BlockDirectory()
+        assert d.request(1, 100, lambda t: None) is True
+        assert d.request(2, 100, lambda t: None) is True
+        assert d.pending_count() == 2
+        assert d.pending_count(1) == 1
+
+    def test_complete_without_request_raises(self):
+        d = BlockDirectory()
+        with pytest.raises(KeyError):
+            d.complete(1, 5, 0)
+
+    def test_counters(self):
+        d = BlockDirectory()
+        d.request(1, 1, lambda t: None)
+        d.request(1, 1, lambda t: None)
+        d.request(1, 2, lambda t: None)
+        assert d.issued == 2
+        assert d.merged == 1

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on core data structures.
+
+These pin the invariants the simulator's correctness rests on: pad-stream
+wait bounds, allocator pool conservation, cache/TLB capacity limits, link
+FIFO monotonicity, batching byte accounting, EWMA convexity, and the
+functional crypto round-trip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import MetadataConfig
+from repro.core.batching import BatchingController
+from repro.core.dynamic_allocator import DynamicOtpAllocator, largest_remainder
+from repro.core.ewma import Ewma
+from repro.crypto.counter_mode import PadGenerator
+from repro.crypto.gcm import AESGCM
+from repro.gpu.cache import SetAssociativeCache
+from repro.interconnect.link import Channel
+from repro.interconnect.packet import Packet, PacketKind
+from repro.secure.otp_buffer import PadOutcome, PadStream
+from repro.secure.replay import ReplayGuard
+
+
+# ---------------------------------------------------------------------------
+# PadStream
+# ---------------------------------------------------------------------------
+@given(
+    latency=st.integers(1, 100),
+    capacity=st.integers(0, 16),
+    gaps=st.lists(st.integers(0, 200), min_size=1, max_size=60),
+)
+def test_pad_wait_never_exceeds_latency(latency, capacity, gaps):
+    """A fully pipelined engine bounds every wait by one generation."""
+    stream = PadStream(latency, capacity)
+    now = 0
+    for gap in gaps:
+        now += gap
+        grant = stream.consume(now)
+        assert 0 <= grant.wait <= latency
+        if grant.outcome is PadOutcome.HIT:
+            assert grant.wait == 0
+        elif grant.outcome is PadOutcome.MISS:
+            assert grant.wait == latency
+
+
+@given(
+    latency=st.integers(1, 60),
+    capacity=st.integers(1, 8),
+    ops=st.lists(st.integers(-3, 5), min_size=1, max_size=30),
+)
+def test_pad_capacity_tracks_grow_shrink(latency, capacity, ops):
+    stream = PadStream(latency, capacity)
+    expected = capacity
+    now = 0
+    for op in ops:
+        now += 10
+        if op >= 0:
+            stream.grow(now, op)
+            expected += op
+        else:
+            removed = stream.shrink(-op)
+            expected -= removed
+        assert stream.capacity == expected
+        assert stream.capacity >= 0
+
+
+@given(
+    latency=st.integers(1, 60),
+    spacing=st.integers(0, 200),
+    n=st.integers(1, 40),
+)
+def test_pads_spaced_beyond_latency_always_hit(latency, spacing, n):
+    stream = PadStream(latency, capacity=1)
+    if spacing < latency:
+        return  # property only claimed for spaced traffic
+    for i in range(n):
+        assert stream.consume(i * spacing).outcome is PadOutcome.HIT
+
+
+# ---------------------------------------------------------------------------
+# Dynamic allocator
+# ---------------------------------------------------------------------------
+@given(
+    total=st.integers(0, 200),
+    weights=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=10),
+)
+def test_largest_remainder_conserves_total(total, weights):
+    shares = largest_remainder(total, weights)
+    assert sum(shares) == total
+    assert all(s >= 0 for s in shares)
+
+
+@given(
+    pool=st.integers(8, 128),
+    events=st.lists(
+        st.tuples(st.sampled_from(["s", "r"]), st.integers(0, 3), st.integers(1, 50)),
+        min_size=1,
+        max_size=20,
+    ),
+)
+@settings(max_examples=50)
+def test_allocator_plans_always_cover_pool(pool, events):
+    peers = [0, 2, 3, 4]
+    alloc = DynamicOtpAllocator(peers, total_pool=pool, min_samples=1)
+    for direction, peer_idx, count in events:
+        for _ in range(count):
+            if direction == "s":
+                alloc.record_send(peers[peer_idx])
+            else:
+                alloc.record_recv(peers[peer_idx])
+        plan = alloc.adjust()
+        plan.validate(pool)
+        floor = alloc.min_per_stream
+        assert all(v >= floor for v in plan.send_per_peer.values())
+        assert all(v >= floor for v in plan.recv_per_peer.values())
+
+
+@given(rate=st.floats(0.01, 1.0), samples=st.lists(st.floats(0, 1), min_size=1, max_size=50))
+def test_ewma_stays_within_sample_hull(rate, samples):
+    e = Ewma(rate, initial=samples[0])
+    lo, hi = samples[0], samples[0]
+    for s in samples:
+        e.update(s)
+        lo, hi = min(lo, s), max(hi, s)
+        assert lo - 1e-9 <= e.value <= hi + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Batching accounting
+# ---------------------------------------------------------------------------
+@given(
+    batch_size=st.integers(1, 64),
+    n_blocks=st.integers(1, 200),
+)
+def test_batched_meta_never_exceeds_conventional(batch_size, n_blocks):
+    md = MetadataConfig()
+    controller = BatchingController(md, batch_size=batch_size, timeout=100)
+    total = sum(controller.add_block(peer=2, now=i).meta_bytes for i in range(n_blocks))
+    conventional = n_blocks * md.per_message_meta_bytes
+    # batching can only save wire bytes (equality possible for size-1 batches
+    # minus the length byte overhead)
+    assert total <= conventional + n_blocks * md.batch_len_bytes
+
+
+@given(batch_size=st.integers(2, 32), n_blocks=st.integers(1, 100))
+def test_batch_close_counting(batch_size, n_blocks):
+    controller = BatchingController(MetadataConfig(), batch_size=batch_size, timeout=100)
+    closes = sum(
+        1 for i in range(n_blocks) if controller.add_block(2, i).closes_batch
+    )
+    assert closes == n_blocks // batch_size
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+@given(
+    addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200),
+)
+def test_cache_occupancy_never_exceeds_geometry(addresses):
+    cache = SetAssociativeCache("t", size_bytes=1024, assoc=2)  # 16 lines
+    for addr in addresses:
+        if not cache.lookup(addr):
+            cache.fill(addr)
+    assert cache.occupancy <= 16
+    assert cache.stats.accesses == len(addresses)
+
+
+@given(addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+def test_cache_fill_then_immediate_lookup_hits(addresses):
+    cache = SetAssociativeCache("t", size_bytes=4096, assoc=4)
+    for addr in addresses:
+        cache.fill(addr)
+        assert cache.lookup(addr)
+
+
+# ---------------------------------------------------------------------------
+# Link channel
+# ---------------------------------------------------------------------------
+@given(
+    sizes=st.lists(st.integers(1, 4096), min_size=1, max_size=50),
+    gaps=st.lists(st.integers(0, 100), min_size=1, max_size=50),
+)
+def test_channel_arrivals_are_fifo_monotonic(sizes, gaps):
+    channel = Channel("c", bytes_per_cycle=32.0, latency=10)
+    now = 0
+    last_arrival = 0
+    total = 0
+    for size, gap in zip(sizes, gaps):
+        now += gap
+        packet = Packet(kind=PacketKind.DATA_RESP, src=1, dst=2, size_bytes=size)
+        arrival = channel.send(packet, now)
+        assert arrival >= last_arrival  # FIFO: no reordering
+        assert arrival >= now + 10  # at least the wire latency
+        last_arrival = arrival
+        total += size
+    assert channel.total_bytes == total
+
+
+# ---------------------------------------------------------------------------
+# Replay guard
+# ---------------------------------------------------------------------------
+@given(n=st.integers(1, 100), retire_chunks=st.lists(st.integers(1, 10), max_size=20))
+def test_replay_guard_conservation(n, retire_chunks):
+    guard = ReplayGuard(1)
+    for c in range(n):
+        guard.on_send(2, c)
+    retired = 0
+    for chunk in retire_chunks:
+        if retired + chunk > n:
+            break
+        assert guard.on_ack(2, retire=chunk)
+        retired += chunk
+    assert guard.outstanding(2) == n - retired
+    assert guard.max_outstanding == n
+
+
+# ---------------------------------------------------------------------------
+# Functional crypto round trips
+# ---------------------------------------------------------------------------
+@given(payload=st.binary(min_size=0, max_size=64), counter=st.integers(0, 1 << 32))
+@settings(max_examples=25, deadline=None)
+def test_pad_round_trip_property(payload, counter):
+    pad = PadGenerator(bytes(16)).generate(counter, 1, 2)
+    assert pad.decrypt(pad.encrypt(payload)) == payload
+
+
+@given(plaintext=st.binary(min_size=0, max_size=96), aad=st.binary(max_size=32))
+@settings(max_examples=15, deadline=None)
+def test_gcm_round_trip_property(plaintext, aad):
+    gcm = AESGCM(bytes(range(16)))
+    ciphertext, tag = gcm.encrypt(b"twelve-bytes", plaintext, aad)
+    assert gcm.decrypt(b"twelve-bytes", ciphertext, tag, aad) == plaintext

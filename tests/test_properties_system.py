@@ -1,0 +1,80 @@
+"""System-level property tests on randomized synthetic workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import default_config, scheme_config
+from repro.system import run_workload
+from repro.workloads.synthetic import synthetic_workload
+
+_knobs = st.fixed_dictionaries(
+    {
+        "remote_fraction": st.floats(0.0, 1.0),
+        "burst_length": st.integers(1, 24),
+        "gap": st.integers(0, 10),
+        "skew": st.floats(0.0, 8.0),
+        "phase_length": st.integers(1, 20),
+        "cpu_share": st.floats(0.0, 1.0),
+    }
+)
+
+
+def _trace(seed, knobs):
+    return synthetic_workload(
+        n_gpus=3, seed=seed, scale=0.08, n_lanes=4, bursts_per_lane=10, **knobs
+    )
+
+
+@given(seed=st.integers(0, 10_000), knobs=_knobs)
+@settings(max_examples=8, deadline=None)
+def test_any_profile_simulates_deterministically(seed, knobs):
+    cfg = scheme_config("batching", n_gpus=3)
+    r1 = run_workload(cfg, _trace(seed, knobs))
+    r2 = run_workload(cfg, _trace(seed, knobs))
+    assert r1.execution_cycles == r2.execution_cycles
+    assert r1.traffic_bytes == r2.traffic_bytes
+    assert r1.execution_cycles > 0
+
+
+@given(seed=st.integers(0, 10_000), knobs=_knobs)
+@settings(max_examples=6, deadline=None)
+def test_security_never_shrinks_traffic(seed, knobs):
+    base = run_workload(scheme_config("unsecure", n_gpus=3), _trace(seed, knobs))
+    secured = run_workload(scheme_config("private", n_gpus=3), _trace(seed, knobs))
+    assert secured.traffic_bytes >= base.traffic_bytes
+    assert secured.base_traffic_bytes + secured.meta_traffic_bytes == secured.traffic_bytes
+
+
+@given(seed=st.integers(0, 10_000), knobs=_knobs)
+@settings(max_examples=6, deadline=None)
+def test_batching_metadata_bounded_by_degenerate_overhead(seed, knobs):
+    """Batching can only lose bytes on timeout-closed singleton batches.
+
+    Each such batch pays a 1 B length field plus a standalone-MAC header
+    over the conventional protocol (the paper's premise is that bursts
+    exist); bursty traffic must come out strictly ahead.
+    """
+    conventional = run_workload(
+        default_config(3, scheme="dynamic"), _trace(seed, knobs)
+    )
+    batched = run_workload(
+        default_config(3, scheme="dynamic", batching=True), _trace(seed, knobs)
+    )
+    # worst case per timeout-closed batch: +len byte +standalone MAC packet
+    # header vs the per-message MAC it replaced
+    slack = 4 * max(1, batched.batch_macs_sent)
+    assert batched.meta_traffic_bytes <= conventional.meta_traffic_bytes + slack
+    if knobs["burst_length"] >= 8 and knobs["remote_fraction"] >= 0.3:
+        assert batched.meta_traffic_bytes < conventional.meta_traffic_bytes
+
+
+@given(seed=st.integers(0, 10_000), knobs=_knobs)
+@settings(max_examples=6, deadline=None)
+def test_replay_guards_drain_on_any_profile(seed, knobs):
+    from repro.system import MultiGpuSystem
+
+    system = MultiGpuSystem(default_config(3, scheme="dynamic", batching=True))
+    system.run(_trace(seed, knobs))
+    for guard in system.transport.guards.values():
+        assert guard.outstanding() == 0
+        assert guard.violations == 0

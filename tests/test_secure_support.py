@@ -1,0 +1,112 @@
+"""Engine model, metadata accountant, and replay guard tests."""
+
+import pytest
+
+from repro.configs import MetadataConfig
+from repro.interconnect.packet import Packet, PacketKind
+from repro.secure.engine import AesGcmEngineModel
+from repro.secure.metadata import MetadataAccountant
+from repro.secure.replay import ReplayGuard
+
+
+class TestEngineModel:
+    def test_fast_paths(self):
+        e = AesGcmEngineModel(pad_latency=40, ghash_latency=4, xor_latency=1)
+        assert e.encrypt_fast_path == 1
+        assert e.mac_fast_path == 4
+
+    def test_counters(self):
+        e = AesGcmEngineModel()
+        e.count_pad(3)
+        e.count_mac()
+        assert e.pads_generated == 3 and e.macs_computed == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AesGcmEngineModel(pad_latency=0)
+        with pytest.raises(ValueError):
+            AesGcmEngineModel(ghash_latency=-1)
+
+
+class TestMetadataAccountant:
+    def _packet(self, kind=PacketKind.DATA_RESP):
+        return Packet(kind=kind, src=1, dst=2, size_bytes=80)
+
+    def test_conventional_meta_is_ctr_mac_id(self):
+        acc = MetadataAccountant(MetadataConfig())
+        assert acc.conventional_meta(self._packet()) == 8 + 8 + 1
+
+    def test_batched_meta_variants(self):
+        acc = MetadataAccountant(MetadataConfig())
+        middle = acc.batched_block_meta(False, False)
+        opener = acc.batched_block_meta(True, False)
+        closer = acc.batched_block_meta(False, True)
+        assert middle == 8 + 1
+        assert opener == middle + 1
+        assert closer == middle + 8
+
+    def test_secure_commu_mode_zeroes_bandwidth(self):
+        acc = MetadataAccountant(MetadataConfig(), count_metadata=False)
+        assert acc.conventional_meta(self._packet()) == 0
+        assert acc.batched_block_meta(True, True) == 0
+        assert acc.ack_packet_size() == 1  # still serializable
+
+    def test_ack_and_batch_mac_sizes(self):
+        acc = MetadataAccountant(MetadataConfig())
+        assert acc.ack_packet_size() == 16
+        assert acc.standalone_batch_mac_size() == 8 + 1 + 1
+
+    def test_ack_policy(self):
+        assert MetadataAccountant.needs_ack(PacketKind.DATA_RESP)
+        assert MetadataAccountant.needs_ack(PacketKind.WRITE_REQ)
+        assert MetadataAccountant.needs_ack(PacketKind.MIGRATION_DATA)
+        assert not MetadataAccountant.needs_ack(PacketKind.READ_REQ)
+        assert not MetadataAccountant.needs_ack(PacketKind.SEC_ACK)
+
+    def test_batchable_policy(self):
+        assert MetadataAccountant.batchable(PacketKind.DATA_RESP)
+        assert MetadataAccountant.batchable(PacketKind.MIGRATION_DATA)
+        assert not MetadataAccountant.batchable(PacketKind.WRITE_REQ)
+
+
+class TestReplayGuard:
+    def test_fifo_ack_matching(self):
+        g = ReplayGuard(node=1)
+        g.on_send(2, counter=0)
+        g.on_send(2, counter=1)
+        assert g.on_ack(2, counter=0)
+        assert g.on_ack(2, counter=1)
+        assert g.acked == 2 and g.violations == 0
+
+    def test_counter_mismatch_is_violation(self):
+        g = ReplayGuard(1)
+        g.on_send(2, counter=7)
+        assert not g.on_ack(2, counter=9)
+        assert g.violations == 1
+
+    def test_unexpected_ack_is_violation(self):
+        g = ReplayGuard(1)
+        assert not g.on_ack(2)
+        assert g.violations == 1
+
+    def test_batch_retire(self):
+        g = ReplayGuard(1)
+        for c in range(16):
+            g.on_send(3, c)
+        assert g.on_ack(3, retire=16)
+        assert g.outstanding(3) == 0
+
+    def test_max_outstanding_high_water(self):
+        g = ReplayGuard(1)
+        for c in range(5):
+            g.on_send(2, c)
+        g.on_ack(2, retire=5)
+        assert g.max_outstanding == 5
+        assert g.outstanding() == 0
+
+    def test_outstanding_per_peer(self):
+        g = ReplayGuard(1)
+        g.on_send(2, 0)
+        g.on_send(3, 0)
+        assert g.outstanding(2) == 1
+        assert g.outstanding() == 2

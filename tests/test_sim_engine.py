@@ -1,0 +1,112 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(7, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_during_run_is_honoured():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(5, lambda: seen.append(sim.now))
+
+    sim.schedule(10, first)
+    sim.run()
+    assert seen == [10, 15]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: sim.schedule_at(5, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_cancelled_event_is_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, lambda: fired.append("cancelled"))
+    sim.schedule(20, lambda: fired.append("kept"))
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_max_events_limit():
+    sim = Simulator(max_events=2)
+    fired = []
+    for i in range(5):
+        sim.schedule(i, lambda i=i: fired.append(i))
+    sim.run()
+    assert fired == [0, 1]
+
+
+def test_max_cycles_limit():
+    sim = Simulator(max_cycles=15)
+    fired = []
+    sim.schedule(10, lambda: fired.append(10))
+    sim.schedule(20, lambda: fired.append(20))
+    sim.run()
+    assert fired == [10]
+
+
+def test_end_hooks_fire_once_after_run():
+    sim = Simulator()
+    calls = []
+    sim.add_end_hook(lambda: calls.append(sim.now))
+    sim.schedule(42, lambda: None)
+    sim.run()
+    assert calls == [42]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(3, lambda: None)
+    assert sim.step() is True
+    assert sim.now == 3
+
+
+def test_event_queue_peek_skips_cancelled():
+    q = EventQueue()
+    e1 = q.push(5, lambda: None)
+    q.push(9, lambda: None)
+    e1.cancel()
+    assert q.peek_time() == 9
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7

@@ -1,0 +1,127 @@
+"""End-to-end system tests: full machine, real workload traces."""
+
+import pytest
+
+from repro.configs import default_config, scheme_config
+from repro.system import MultiGpuSystem, run_workload
+from repro.workloads import get_workload
+
+SCALE = 0.15  # small traces keep these tests fast
+
+
+def simulate(scheme, workload="matrixmultiplication", n_gpus=4, seed=1, **overrides):
+    trace = get_workload(workload).generate(n_gpus=n_gpus, seed=seed, scale=SCALE)
+    if overrides:
+        config = default_config(n_gpus, scheme="dynamic" if scheme == "batching" else scheme,
+                                batching=(scheme == "batching"), **overrides)
+    else:
+        config = scheme_config(scheme, n_gpus=n_gpus)
+    return run_workload(config, trace)
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("scheme", ["unsecure", "private", "shared", "cached", "dynamic", "batching"])
+    def test_all_schemes_complete(self, scheme):
+        report = simulate(scheme)
+        assert report.execution_cycles > 0
+        assert report.per_gpu_finish and all(v > 0 for v in report.per_gpu_finish.values())
+
+    @pytest.mark.parametrize("n_gpus", [1, 2, 4, 8])
+    def test_various_gpu_counts(self, n_gpus):
+        report = simulate("batching", n_gpus=n_gpus)
+        assert report.n_gpus == n_gpus
+        assert report.execution_cycles > 0
+
+    def test_system_runs_exactly_once(self):
+        trace = get_workload("fir").generate(4, seed=1, scale=SCALE)
+        system = MultiGpuSystem(scheme_config("unsecure"))
+        system.run(trace)
+        with pytest.raises(RuntimeError):
+            system.run(trace)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = simulate("batching", seed=3)
+        b = simulate("batching", seed=3)
+        assert a.execution_cycles == b.execution_cycles
+        assert a.traffic_bytes == b.traffic_bytes
+        assert a.remote_requests == b.remote_requests
+
+    def test_different_seed_changes_random_workloads(self):
+        a = simulate("unsecure", workload="pagerank", seed=1)
+        b = simulate("unsecure", workload="pagerank", seed=2)
+        assert a.execution_cycles != b.execution_cycles
+
+
+class TestInvariants:
+    def test_secure_never_reduces_traffic(self):
+        base = simulate("unsecure")
+        for scheme in ("private", "cached", "dynamic", "batching"):
+            secured = simulate(scheme)
+            assert secured.traffic_bytes > base.traffic_bytes
+
+    def test_batching_reduces_metadata_vs_conventional(self):
+        conventional = simulate("dynamic")
+        batched = simulate("batching")
+        assert batched.meta_traffic_bytes < conventional.meta_traffic_bytes
+
+    def test_byte_accounting_consistent(self):
+        for scheme in ("unsecure", "private", "batching"):
+            r = simulate(scheme)
+            assert r.base_traffic_bytes + r.meta_traffic_bytes == r.traffic_bytes
+
+    def test_unsecure_has_no_metadata(self):
+        r = simulate("unsecure")
+        assert r.meta_traffic_bytes == 0
+        assert r.otp_send.hit == 0.0 and r.otp_send.miss == 0.0
+
+    def test_secure_commu_mode_has_crypto_but_no_meta_bytes(self):
+        r = simulate("private", count_metadata=False)
+        assert r.meta_traffic_bytes == 0
+        assert r.otp_send.hit + r.otp_send.partial + r.otp_send.miss == pytest.approx(1.0)
+
+    def test_otp_distribution_sums_to_one(self):
+        r = simulate("private")
+        for dist in (r.otp_send, r.otp_recv):
+            assert dist.hit + dist.partial + dist.miss == pytest.approx(1.0)
+        assert r.otp_send.hidden == pytest.approx(r.otp_send.hit + r.otp_send.partial)
+
+    def test_more_otp_entries_do_not_hurt(self):
+        small = simulate("private", otp_multiplier=1)
+        big = simulate("private", otp_multiplier=16)
+        assert big.execution_cycles <= small.execution_cycles
+
+    def test_replay_guard_fully_drains(self):
+        trace = get_workload("kmeans").generate(4, seed=1, scale=SCALE)
+        system = MultiGpuSystem(scheme_config("batching"))
+        system.run(trace)
+        for node, guard in system.transport.guards.items():
+            assert guard.outstanding() == 0, f"node {node} has unacked messages"
+            assert guard.violations == 0
+
+    def test_migrations_move_pages(self):
+        trace = get_workload("matrixmultiplication").generate(4, seed=1, scale=SCALE)
+        system = MultiGpuSystem(scheme_config("unsecure"))
+        report = system.run(trace)
+        if report.migrations:
+            assert system.page_table.migrations == report.migrations
+
+    def test_rpki_reported(self):
+        r = simulate("unsecure", workload="relu")
+        assert r.rpki > 0
+
+
+class TestSlowdownApi:
+    def test_slowdown_and_traffic_ratio(self):
+        base = simulate("unsecure")
+        secured = simulate("private")
+        assert secured.slowdown_vs(base) >= 1.0 or abs(secured.slowdown_vs(base) - 1) < 0.2
+        assert secured.traffic_ratio_vs(base) > 1.0
+
+    def test_slowdown_rejects_empty_baseline(self):
+        base = simulate("unsecure")
+        broken = simulate("private")
+        broken.execution_cycles = 0
+        with pytest.raises(ValueError):
+            base.slowdown_vs(broken)

@@ -1,0 +1,92 @@
+"""Message-trace capture and export tests."""
+
+import pytest
+
+from repro.configs import scheme_config
+from repro.system import MultiGpuSystem
+from repro.tracing import MessageRecord, MessageTracer, load_trace
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def traced():
+    system = MultiGpuSystem(scheme_config("private"))
+    tracer = MessageTracer().attach(system)
+    report = system.run(get_workload("fir").generate(4, seed=1, scale=0.08))
+    return tracer, report
+
+
+class TestCapture:
+    def test_records_cover_traffic(self, traced):
+        tracer, report = traced
+        assert tracer.records
+        # every recorded byte is on the fabric (ACKs are housekeeping and
+        # excluded from the instrumentation hooks, hence <=)
+        assert tracer.total_bytes() <= report.traffic_bytes
+
+    def test_latencies_positive_and_sane(self, traced):
+        tracer, _ = traced
+        for record in tracer.records:
+            assert record.delivered_at > record.sent_at
+            assert record.latency < 100_000
+
+    def test_kinds_are_packet_kinds(self, traced):
+        tracer, _ = traced
+        kinds = {r.kind for r in tracer.records}
+        assert "read_req" in kinds
+        assert "data_resp" in kinds
+
+    def test_by_pair_grouping(self, traced):
+        tracer, _ = traced
+        pairs = tracer.by_pair()
+        assert pairs
+        for (src, dst), records in pairs.items():
+            assert src != dst
+            assert all(r.src == src and r.dst == dst for r in records)
+
+    def test_mean_latency_filter(self, traced):
+        tracer, _ = traced
+        assert tracer.mean_latency() > 0
+        resp = tracer.mean_latency("data_resp")
+        assert resp > 0
+
+    def test_double_attach_rejected(self):
+        system = MultiGpuSystem(scheme_config("unsecure"))
+        MessageTracer().attach(system)
+        with pytest.raises(RuntimeError):
+            MessageTracer().attach(system)
+
+    def test_tracing_does_not_change_timing(self):
+        def run(with_tracer):
+            system = MultiGpuSystem(scheme_config("private"))
+            if with_tracer:
+                MessageTracer().attach(system)
+            return system.run(
+                get_workload("fir").generate(4, seed=1, scale=0.08)
+            ).execution_cycles
+
+        assert run(True) == run(False)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "trace.jsonl"
+        count = tracer.dump_jsonl(path)
+        assert count == len(tracer.records)
+        loaded = load_trace(path)
+        assert loaded == tracer.records
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"pid": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        record = MessageRecord(1, "data_resp", 1, 2, 80, 17, 0, 50)
+        path = tmp_path / "t.jsonl"
+        import dataclasses, json
+
+        path.write_text(json.dumps(dataclasses.asdict(record)) + "\n\n")
+        assert load_trace(path) == [record]

@@ -1,0 +1,202 @@
+"""Secure/unsecure transport integration tests on a tiny 2-GPU system."""
+
+import pytest
+
+from repro.configs import default_config
+from repro.interconnect.packet import Packet, PacketKind
+from repro.interconnect.topology import Topology
+from repro.secure.channel import SecureTransport, UnsecureTransport, build_transport
+from repro.sim.engine import Simulator
+
+
+def make_fabric(scheme="private", n_gpus=2, **security_overrides):
+    cfg = default_config(n_gpus=n_gpus, scheme=scheme, **security_overrides)
+    sim = Simulator()
+    topo = Topology(n_gpus=n_gpus)
+    transport = build_transport(sim, topo, cfg)
+    inboxes = {node: [] for node in topo.nodes()}
+    for node in topo.nodes():
+        transport.register(node, lambda p, t, n=node: inboxes[n].append((p, t)))
+    return sim, topo, transport, inboxes
+
+
+def data_packet(src=1, dst=2, txn=7):
+    return Packet(kind=PacketKind.DATA_RESP, src=src, dst=dst, size_bytes=80, txn_id=txn)
+
+
+class TestBuildTransport:
+    def test_unsecure_builds_plain_transport(self):
+        _, _, transport, _ = make_fabric("unsecure")
+        assert isinstance(transport, UnsecureTransport)
+
+    def test_managed_scheme_builds_secure_transport(self):
+        _, _, transport, _ = make_fabric("cached")
+        assert isinstance(transport, SecureTransport)
+
+    def test_secure_transport_rejects_unsecure(self):
+        cfg = default_config(scheme="unsecure")
+        with pytest.raises(ValueError):
+            SecureTransport(Simulator(), Topology(4), cfg)
+
+
+class TestUnsecureTransport:
+    def test_delivery_and_no_metadata(self):
+        sim, topo, transport, inboxes = make_fabric("unsecure")
+        transport.send(data_packet(), now=0)
+        sim.run()
+        [(packet, time)] = inboxes[2]
+        assert packet.meta_bytes == 0
+        assert topo.meta_bytes == 0
+        # 80 B serializes on the source egress port (2 cycles) + 60-cycle
+        # wire latency + 2 more cycles on the destination ingress port
+        assert time == 64
+
+    def test_duplicate_registration_rejected(self):
+        _, _, transport, _ = make_fabric("unsecure")
+        with pytest.raises(ValueError):
+            transport.register(1, lambda p, t: None)
+
+
+class TestSecureTransport:
+    def test_metadata_attached_and_counted(self):
+        sim, topo, transport, inboxes = make_fabric("private")
+        transport.send(data_packet(), now=0)
+        sim.run()
+        [(packet, _)] = inboxes[2]
+        assert packet.meta_bytes == 17  # CTR 8 + MAC 8 + senderID 1
+        assert packet.size_bytes == 97
+        # data packets trigger a replay ACK back to the sender
+        assert transport.acks_sent == 1
+        assert topo.meta_bytes == 17 + 16  # message meta + ACK
+
+    def test_secure_delivery_is_slower_than_unsecure(self):
+        sim_u, _, t_u, in_u = make_fabric("unsecure")
+        t_u.send(data_packet(), now=0)
+        sim_u.run()
+        sim_s, _, t_s, in_s = make_fabric("shared")
+        # exhaust the shared send pad so the second message pays latency
+        t_s.send(data_packet(txn=1), now=0)
+        t_s.send(data_packet(txn=2), now=0)
+        sim_s.run()
+        unsecure_time = in_u[2][0][1]
+        secure_second = in_s[2][1][1]
+        assert secure_second > unsecure_time
+
+    def test_ack_retires_replay_entry(self):
+        sim, _, transport, _ = make_fabric("private")
+        transport.send(data_packet(), now=0)
+        assert transport.guards[1].outstanding(2) == 1
+        sim.run()
+        assert transport.guards[1].outstanding(2) == 0
+        assert transport.guards[1].violations == 0
+
+    def test_read_requests_not_acked(self):
+        sim, _, transport, _ = make_fabric("private")
+        req = Packet(kind=PacketKind.READ_REQ, src=1, dst=2, size_bytes=16)
+        transport.send(req, now=0)
+        sim.run()
+        assert transport.acks_sent == 0
+
+    def test_secure_commu_mode_has_zero_metadata_bytes(self):
+        sim, topo, transport, inboxes = make_fabric("private", count_metadata=False)
+        transport.send(data_packet(), now=0)
+        sim.run()
+        assert topo.meta_bytes == 0
+        assert transport.acks_sent == 0
+        assert transport.guards[1].outstanding(2) == 0  # still retired
+        assert len(inboxes[2]) == 1
+
+    def test_otp_summary_structure(self):
+        sim, _, transport, _ = make_fabric("private")
+        transport.send(data_packet(), now=0)
+        sim.run()
+        summary = transport.otp_summary()
+        assert set(summary) == {"send", "recv"}
+        assert sum(summary["send"].values()) == pytest.approx(1.0)
+
+    def test_housekeeping_kinds_rejected_from_devices(self):
+        _, _, transport, _ = make_fabric("private")
+        ack = Packet(kind=PacketKind.SEC_ACK, src=1, dst=2, size_bytes=16)
+        with pytest.raises(ValueError):
+            transport.send(ack, now=0)
+
+
+class TestBatchedTransport:
+    def _batched(self, batch_size=4, timeout=100):
+        return make_fabric(
+            "dynamic", batching=True, batch_size=batch_size, batch_timeout=timeout
+        )
+
+    def test_full_batch_single_ack(self):
+        sim, topo, transport, inboxes = self._batched(batch_size=4)
+        for i in range(4):
+            transport.send(data_packet(txn=i), now=0)
+        sim.run()
+        assert len(inboxes[2]) == 4
+        assert transport.acks_sent == 1  # one ACK for the whole batch
+        assert transport.guards[1].outstanding(2) == 0
+
+    def test_batched_metadata_smaller_than_conventional(self):
+        sim, topo, transport, _ = self._batched(batch_size=4)
+        for i in range(4):
+            transport.send(data_packet(txn=i), now=0)
+        sim.run()
+        batched_meta = topo.meta_bytes
+        sim2, topo2, transport2, _ = make_fabric("dynamic")
+        for i in range(4):
+            transport2.send(data_packet(txn=i), now=0)
+        sim2.run()
+        assert batched_meta < topo2.meta_bytes
+
+    def test_timeout_close_emits_standalone_mac(self):
+        sim, _, transport, inboxes = self._batched(batch_size=16, timeout=50)
+        transport.send(data_packet(txn=1), now=0)
+        transport.send(data_packet(txn=2), now=0)
+        sim.run()
+        assert transport.batch_macs_sent == 1
+        assert transport.acks_sent == 1
+        assert transport.guards[1].outstanding(2) == 0
+        assert len(inboxes[2]) == 2  # BATCH_MAC is consumed by the transport
+
+    def test_mac_storage_drains_after_batch(self):
+        sim, _, transport, _ = self._batched(batch_size=4)
+        for i in range(4):
+            transport.send(data_packet(txn=i), now=0)
+        sim.run()
+        storage = transport.mac_storage[2]
+        assert storage.occupancy(1) == 0
+        assert storage.max_occupancy >= 1
+
+    def test_write_requests_stay_conventional(self):
+        sim, _, transport, _ = self._batched(batch_size=4)
+        w = Packet(kind=PacketKind.WRITE_REQ, src=1, dst=2, size_bytes=80)
+        transport.send(w, now=0)
+        sim.run()
+        assert transport.acks_sent == 1  # per-message ACK, no batching
+
+
+class TestInstrumentation:
+    def test_timelines_record_send_and_recv(self):
+        sim, _, transport, _ = make_fabric("private")
+        transport.send(data_packet(), now=0)
+        sim.run()
+        tl1 = transport.timelines[1]
+        tl2 = transport.timelines[2]
+        assert sum(tl1.series("send", 1)) == 1
+        assert sum(tl1.series("to2", 1)) == 1
+        assert sum(tl2.series("recv", tl2.n_buckets())) == 1
+
+    def test_burst_histogram_records_after_16_blocks(self):
+        sim, _, transport, _ = make_fabric("unsecure")
+        for i in range(16):
+            transport.send(data_packet(txn=i), now=0)
+        sim.run()
+        assert transport.burst16.total == 1
+        assert transport.burst32.total == 0
+
+    def test_acks_do_not_pollute_timelines(self):
+        sim, _, transport, _ = make_fabric("private")
+        transport.send(data_packet(), now=0)
+        sim.run()
+        tl2 = transport.timelines[2]
+        assert "to1" not in tl2.channels()  # the ACK is housekeeping

@@ -1,0 +1,69 @@
+"""Claims-validation framework tests (small workload set)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentRunner
+from repro.validation import (
+    Claim,
+    check_paper_claims,
+    format_verdicts,
+    paper_claims,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    workloads = [get_workload(n) for n in ("relu", "matrixmultiplication", "spmv", "fir")]
+    runner = ExperimentRunner(n_gpus=4, seed=1, scale=0.25, workloads=workloads)
+    return check_paper_claims(runner)
+
+
+def test_claim_list_is_well_formed():
+    claims = paper_claims()
+    assert len(claims) >= 8
+    assert len({c.claim_id for c in claims}) == len(claims)
+    for claim in claims:
+        assert claim.source and claim.statement
+
+
+def test_all_claims_evaluate(verdicts):
+    assert len(verdicts) == len(paper_claims())
+    for v in verdicts:
+        assert v.detail  # every verdict carries its evidence
+
+
+def test_core_claims_pass_at_small_scale(verdicts):
+    by_id = {v.claim.claim_id: v for v in verdicts}
+    # the claims that must hold even on a 4-workload mini-sweep
+    for claim_id in (
+        "shared-worst",
+        "metadata-traffic",
+        "traffic-slowdown-split",
+        "batching-cuts-traffic",
+    ):
+        assert by_id[claim_id].passed, by_id[claim_id].detail
+
+
+def test_format_verdicts_readable(verdicts):
+    text = format_verdicts(verdicts)
+    assert "Paper-claim validation" in text
+    assert "claims reproduced" in text
+    assert text.count("PASS") + text.count("FAIL") == len(verdicts)
+
+
+def test_broken_claim_reports_failure():
+    broken = Claim(
+        "broken", "none", "always errors",
+        check=lambda m: 1 / 0,
+        detail=lambda m: "unreachable",
+    )
+    from repro.validation import Verdict
+
+    try:
+        passed = bool(broken.check({}))
+        detail = "?"
+    except Exception as exc:
+        passed, detail = False, f"evaluation error: {exc}"
+    v = Verdict(claim=broken, passed=passed, detail=detail)
+    assert not v.passed and "evaluation error" in v.detail
