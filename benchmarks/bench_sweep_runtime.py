@@ -1,0 +1,211 @@
+"""Sweep-execution benchmark: serial vs parallel vs warm cache, plus the
+event-engine microbenchmark.
+
+Times a small representative sweep (3 workloads x 3 schemes) through each
+execution path of :class:`repro.runner.SweepRunner` and the raw push/pop
+throughput of the tuple-heap :class:`~repro.sim.engine.EventQueue` against
+the seed implementation (an ``order=True`` dataclass heap), then writes the
+numbers to ``results/BENCH_sweep.json`` so future PRs have a perf
+trajectory to compare against.
+
+Standalone:    PYTHONPATH=src python benchmarks/bench_sweep_runtime.py
+Under pytest:  PYTHONPATH=src python -m pytest benchmarks/bench_sweep_runtime.py -q
+
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SEED`` shrink or pin the workloads;
+``REPRO_BENCH_JOBS`` sets the parallel worker count (default 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.configs import scheme_config
+from repro.runner import ResultCache, SweepJob, SweepRunner, report_to_dict
+from repro.sim.engine import EventQueue
+from repro.workloads import get_workload
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+WORKLOADS = ("relu", "matrixmultiplication", "fir")
+SCHEMES = ("unsecure", "private", "batching")
+
+
+def _bench_grid(scale: float, seed: int) -> list[SweepJob]:
+    return [
+        SweepJob(spec=get_workload(name), config=scheme_config(scheme), seed=seed, scale=scale)
+        for name in WORKLOADS
+        for scheme in SCHEMES
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Engine microbenchmark: seed implementation, reproduced verbatim
+# ---------------------------------------------------------------------------
+@dataclass(order=True)
+class _LegacyEvent:
+    """The seed repo's Event: rich-comparison dataclass heap entries."""
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class _LegacyEventQueue:
+    def __init__(self) -> None:
+        self._heap: list[_LegacyEvent] = []
+        self._seq = 0
+
+    def push(self, time: int, callback: Callable[[], None]) -> _LegacyEvent:
+        event = _LegacyEvent(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> _LegacyEvent | None:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+
+def _drive_queue(queue, n_events: int, batch: int = 64) -> None:
+    """Interleaved push/pop in batches — the shape of a simulation run."""
+    noop = lambda: None  # noqa: E731
+    pushed = 0
+    t = 0
+    while pushed < n_events:
+        for _ in range(min(batch, n_events - pushed)):
+            t += 3
+            queue.push(t, noop)
+            pushed += 1
+        for _ in range(batch // 2):
+            queue.pop()
+    while queue.pop() is not None:
+        pass
+
+
+def engine_microbench(n_events: int = 200_000, repeats: int = 3) -> dict:
+    """Best-of-N push/pop throughput for the legacy and current queues."""
+
+    def best(factory) -> float:
+        times = []
+        for _ in range(repeats):
+            queue = factory()
+            start = time.perf_counter()
+            _drive_queue(queue, n_events)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    legacy_s = best(_LegacyEventQueue)
+    current_s = best(EventQueue)
+    return {
+        "n_events": n_events,
+        "legacy_events_per_sec": n_events / legacy_s,
+        "current_events_per_sec": n_events / current_s,
+        "throughput_ratio": legacy_s / current_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep benchmark
+# ---------------------------------------------------------------------------
+def sweep_bench(scale: float, seed: int, jobs: int) -> dict:
+    grid = _bench_grid(scale, seed)
+
+    start = time.perf_counter()
+    serial = SweepRunner(jobs=1).run_jobs(grid)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepRunner(jobs=jobs).run_jobs(grid)
+    parallel_s = time.perf_counter() - start
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache = ResultCache(cache_dir)
+        start = time.perf_counter()
+        SweepRunner(jobs=1, cache=cache).run_jobs(grid)
+        cold_s = time.perf_counter() - start
+
+        warm_runner = SweepRunner(jobs=1, cache=cache)
+        start = time.perf_counter()
+        warm = warm_runner.run_jobs(grid)
+        warm_s = time.perf_counter() - start
+        warm_hits = warm_runner.stats.cache_hits
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = all(
+        report_to_dict(s) == report_to_dict(p) == report_to_dict(w)
+        for s, p, w in zip(serial, parallel, warm)
+    )
+    return {
+        "grid_cells": len(grid),
+        "workloads": list(WORKLOADS),
+        "schemes": list(SCHEMES),
+        "scale": scale,
+        "seed": seed,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "parallel_jobs": jobs,
+        "parallel_speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "cold_cache_s": cold_s,
+        "warm_cache_s": warm_s,
+        "warm_cache_speedup": serial_s / warm_s if warm_s else 0.0,
+        "warm_cache_hits": warm_hits,
+        "bit_identical": identical,
+    }
+
+
+def main(out_path: Path | None = None) -> dict:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+    payload = {
+        "bench": "sweep_runtime",
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep_bench(scale, seed, jobs),
+        "engine": engine_microbench(),
+    }
+    out_path = out_path or RESULTS_DIR / "BENCH_sweep.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    sweep = payload["sweep"]
+    engine = payload["engine"]
+    print(f"sweep of {sweep['grid_cells']} cells @ scale {sweep['scale']}:")
+    print(f"  serial        {sweep['serial_s']:.2f}s")
+    print(f"  parallel x{sweep['parallel_jobs']}   {sweep['parallel_s']:.2f}s "
+          f"({sweep['parallel_speedup']:.2f}x, {payload['cpu_count']} cores visible)")
+    print(f"  cold cache    {sweep['cold_cache_s']:.2f}s")
+    print(f"  warm cache    {sweep['warm_cache_s']:.2f}s ({sweep['warm_cache_speedup']:.1f}x)")
+    print(f"  bit-identical {sweep['bit_identical']}")
+    print(f"engine push/pop: {engine['current_events_per_sec']:,.0f} ev/s vs "
+          f"{engine['legacy_events_per_sec']:,.0f} ev/s legacy "
+          f"({engine['throughput_ratio']:.2f}x)")
+    print(f"[written to {out_path}]")
+    return payload
+
+
+def test_sweep_runtime_bench(results_dir):
+    payload = main(results_dir / "BENCH_sweep.json")
+    assert payload["sweep"]["bit_identical"]
+    assert payload["sweep"]["warm_cache_hits"] == payload["sweep"]["grid_cells"]
+    # warm cache must beat re-simulating by a wide margin
+    assert payload["sweep"]["warm_cache_speedup"] > 5
+    # the tuple heap must not regress to the seed implementation's speed
+    assert payload["engine"]["throughput_ratio"] > 1.0
+
+
+if __name__ == "__main__":
+    main()

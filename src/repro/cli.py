@@ -14,7 +14,6 @@ import argparse
 import sys
 
 from repro.configs import scheme_config
-from repro.system import run_workload
 from repro.workloads import all_workloads, get_workload
 
 SCHEMES = ("unsecure", "private", "shared", "cached", "dynamic", "batching", "ideal")
@@ -33,6 +32,23 @@ EXPERIMENTS = {
 }
 
 
+def _add_runner_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Execution flags shared by every simulating subcommand."""
+    group = sub_parser.add_argument_group("execution")
+    group.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for independent cells (default: $REPRO_JOBS or 1)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result-cache directory (default: results/.cache)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache for this invocation",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -46,12 +62,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--gpus", type=int, default=4)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--scale", type=float, default=1.0)
+    _add_runner_args(run_p)
 
     cmp_p = sub.add_parser("compare", help="one workload across all schemes")
     cmp_p.add_argument("workload")
     cmp_p.add_argument("--gpus", type=int, default=4)
     cmp_p.add_argument("--seed", type=int, default=1)
     cmp_p.add_argument("--scale", type=float, default=1.0)
+    _add_runner_args(cmp_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=[*sorted(EXPERIMENTS), "all"])
@@ -59,20 +77,44 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--seed", type=int, default=1)
     exp_p.add_argument("--scale", type=float, default=0.5)
     exp_p.add_argument("--out", default="results/full", help="output dir for 'all'")
+    _add_runner_args(exp_p)
 
     val_p = sub.add_parser("validate", help="check the paper's claims against this build")
     val_p.add_argument("--gpus", type=int, default=4)
     val_p.add_argument("--seed", type=int, default=1)
     val_p.add_argument("--scale", type=float, default=1.0)
+    _add_runner_args(val_p)
 
     sub.add_parser("list", help="list workloads and experiments")
     return parser
 
 
+def _sweeper(args):
+    from repro.runner import SweepRunner, default_cache
+
+    use_cache = False if args.no_cache else None
+    return SweepRunner(jobs=args.jobs, cache=default_cache(args.cache_dir, use_cache))
+
+
+def _runner_kwargs(args) -> dict:
+    return {
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "use_cache": False if args.no_cache else None,
+    }
+
+
 def _cmd_run(args) -> int:
+    from repro.runner import SweepJob
+
     spec = get_workload(args.workload)
-    trace = spec.generate(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
-    report = run_workload(scheme_config(args.scheme, n_gpus=args.gpus), trace)
+    job = SweepJob(
+        spec=spec,
+        config=scheme_config(args.scheme, n_gpus=args.gpus),
+        seed=args.seed,
+        scale=args.scale,
+    )
+    report = _sweeper(args).run_jobs([job])[0]
     print(f"workload           {spec.name} ({spec.suite}, {spec.rpki_class} RPKI)")
     print(f"scheme             {report.scheme}")
     print(f"execution cycles   {report.execution_cycles}")
@@ -89,18 +131,24 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from repro.runner import SweepJob
+
     spec = get_workload(args.workload)
-
-    def simulate(scheme):
-        trace = spec.generate(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
-        return run_workload(scheme_config(scheme, n_gpus=args.gpus), trace)
-
-    baseline = simulate("unsecure")
+    jobs = [
+        SweepJob(
+            spec=spec,
+            config=scheme_config(scheme, n_gpus=args.gpus),
+            seed=args.seed,
+            scale=args.scale,
+        )
+        for scheme in SCHEMES
+    ]
+    reports = _sweeper(args).run_jobs(jobs)  # all schemes fan out together
+    baseline = reports[0]
     print(f"{spec.name} on {args.gpus} GPUs (normalized to unsecure, "
           f"{baseline.execution_cycles} cycles)")
     print(f"{'scheme':10s} {'slowdown':>9s} {'traffic':>9s} {'send hit':>9s} {'recv hit':>9s}")
-    for scheme in SCHEMES[1:]:
-        report = simulate(scheme)
+    for scheme, report in zip(SCHEMES[1:], reports[1:]):
         print(
             f"{scheme:10s} {report.slowdown_vs(baseline):9.3f} "
             f"{report.traffic_ratio_vs(baseline):9.3f} "
@@ -115,7 +163,9 @@ def _cmd_experiment(args) -> int:
     if args.name == "all":
         from repro.experiments.report import generate_all
 
-        sections = generate_all(args.out, scale=args.scale, seed=args.seed)
+        sections = generate_all(
+            args.out, scale=args.scale, seed=args.seed, **_runner_kwargs(args)
+        )
         print(f"\nwrote {len(sections)} experiment tables to {args.out}/")
         return 0
 
@@ -124,7 +174,9 @@ def _cmd_experiment(args) -> int:
     if opts.get("needs_runner"):
         from repro.experiments.common import ExperimentRunner
 
-        runner = ExperimentRunner(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
+        runner = ExperimentRunner(
+            n_gpus=args.gpus, seed=args.seed, scale=args.scale, **_runner_kwargs(args)
+        )
         result = module.run(runner)
     else:
         result = module.run()
@@ -136,7 +188,9 @@ def _cmd_validate(args) -> int:
     from repro.experiments.common import ExperimentRunner
     from repro.validation import check_paper_claims, format_verdicts
 
-    runner = ExperimentRunner(n_gpus=args.gpus, seed=args.seed, scale=args.scale)
+    runner = ExperimentRunner(
+        n_gpus=args.gpus, seed=args.seed, scale=args.scale, **_runner_kwargs(args)
+    )
     verdicts = check_paper_claims(runner)
     print(format_verdicts(verdicts))
     return 0 if all(v.passed for v in verdicts) else 1

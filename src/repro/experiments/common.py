@@ -1,31 +1,38 @@
 """Shared infrastructure for the experiment harnesses.
 
-:class:`ExperimentRunner` runs (workload × configuration) simulations with
-memoization, so a sweep that reuses the unsecure baseline (every figure
-normalizes against it) only simulates it once per workload.  Formatting
-helpers render the paper-style text tables.
+:class:`ExperimentRunner` runs (workload × configuration) simulations on
+top of :mod:`repro.runner`: cells are deduplicated, served from the
+persistent result cache when available, and fanned out over worker
+processes when ``jobs > 1``.  An in-memory memo preserves object identity
+within a runner (a sweep that reuses the unsecure baseline gets the *same*
+report object back).  Formatting helpers render the paper-style text
+tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import exp, fsum, log
 
 from repro.configs import SystemConfig, scheme_config
-from repro.system import SimulationReport, run_workload
+from repro.runner import SweepJob, SweepRunner, default_cache
+from repro.system import SimulationReport
 from repro.workloads import WorkloadSpec, all_workloads
 
 
 def geometric_mean(values: list[float]) -> float:
     """The paper reports averages of normalized times; geomean is the
-    appropriate aggregate for ratios."""
+    appropriate aggregate for ratios.
+
+    Computed in log space — a running float product under/overflows for
+    long ratio lists (17 workloads × 6 configs × 3 seeds is already 300+
+    factors), while a compensated sum of logs is stable at any length.
+    """
     if not values:
         raise ValueError("geometric mean of no values")
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
-    product = 1.0
-    for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
+    return exp(fsum(log(v) for v in values) / len(values))
 
 
 @dataclass
@@ -44,7 +51,15 @@ class WorkloadResult:
 
 
 class ExperimentRunner:
-    """Runs and caches simulations for experiment sweeps."""
+    """Runs and caches simulations for experiment sweeps.
+
+    ``jobs`` worker processes execute independent cells concurrently
+    (default: the ``REPRO_JOBS`` environment variable, else serial).  The
+    persistent cache under ``cache_dir`` (default ``results/.cache``; see
+    :func:`repro.runner.default_cache`) survives across processes, so a
+    rerun of any figure only simulates cells it has never seen; pass
+    ``use_cache=False`` — or set ``REPRO_NO_CACHE`` — to disable it.
+    """
 
     def __init__(
         self,
@@ -52,37 +67,69 @@ class ExperimentRunner:
         seed: int = 1,
         scale: float = 1.0,
         workloads: list[WorkloadSpec] | None = None,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+        use_cache: bool | None = None,
     ) -> None:
         self.n_gpus = n_gpus
         self.seed = seed
         self.scale = scale
         self.workloads = workloads if workloads is not None else all_workloads()
+        self.sweeper = SweepRunner(jobs=jobs, cache=default_cache(cache_dir, use_cache))
         self._cache: dict[tuple, SimulationReport] = {}
 
     # ------------------------------------------------------------------
     # Simulation with memoization
     # ------------------------------------------------------------------
-    def run(self, spec: WorkloadSpec, config: SystemConfig) -> SimulationReport:
+    def _job(self, spec: WorkloadSpec, config: SystemConfig) -> SweepJob:
+        return SweepJob(spec=spec, config=config, seed=self.seed, scale=self.scale)
+
+    def _memo_key(self, spec: WorkloadSpec, config: SystemConfig) -> tuple:
         # SystemConfig is a tree of frozen dataclasses, so the whole
         # configuration is hashable — any swept field invalidates the memo
-        key = (spec.name, self.seed, self.scale, config)
-        report = self._cache.get(key)
-        if report is None:
-            trace = spec.generate(
-                n_gpus=config.n_gpus, seed=self.seed, scale=self.scale
-            )
-            report = run_workload(config, trace)
-            self._cache[key] = report
-        return report
+        return (spec.name, self.seed, self.scale, config)
+
+    def run(self, spec: WorkloadSpec, config: SystemConfig) -> SimulationReport:
+        return self.run_many([(spec, config)])[0]
+
+    def run_many(
+        self, cells: list[tuple[WorkloadSpec, SystemConfig]]
+    ) -> list[SimulationReport]:
+        """Run a batch of cells; memo misses go to the sweeper *together*,
+        so they share one process-pool fan-out and one cache pass."""
+        missing = [
+            (spec, config)
+            for spec, config in cells
+            if self._memo_key(spec, config) not in self._cache
+        ]
+        if missing:
+            reports = self.sweeper.run_jobs([self._job(s, c) for s, c in missing])
+            for (spec, config), report in zip(missing, reports):
+                # setdefault keeps the first object if a duplicate cell
+                # appeared twice in one batch — identity stays stable
+                self._cache.setdefault(self._memo_key(spec, config), report)
+        return [self._cache[self._memo_key(spec, config)] for spec, config in cells]
 
     def baseline(self, spec: WorkloadSpec) -> SimulationReport:
         return self.run(spec, scheme_config("unsecure", n_gpus=self.n_gpus))
 
     def sweep(self, configs: dict[str, SystemConfig]) -> list[WorkloadResult]:
-        """Run every workload under every named configuration."""
+        """Run every workload under every named configuration.
+
+        The whole grid — baselines included — is submitted as one batch, so
+        with ``jobs > 1`` independent cells run concurrently.
+        """
+        unsecure = scheme_config("unsecure", n_gpus=self.n_gpus)
+        cells: list[tuple[WorkloadSpec, SystemConfig]] = []
+        for spec in self.workloads:
+            cells.append((spec, unsecure))
+            for config in configs.values():
+                cells.append((spec, config))
+        self.run_many(cells)
+
         results = []
         for spec in self.workloads:
-            result = WorkloadResult(spec=spec, baseline=self.baseline(spec))
+            result = WorkloadResult(spec=spec, baseline=self.run(spec, unsecure))
             for key, config in configs.items():
                 result.by_config[key] = self.run(spec, config)
             results.append(result)
@@ -95,21 +142,39 @@ def multi_seed_slowdowns(
     n_gpus: int = 4,
     scale: float = 1.0,
     workloads: list[WorkloadSpec] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> dict[str, float]:
     """Average slowdown per configuration across seeds and workloads.
 
     Structural workloads are seed-deterministic, but the randomized ones
     (pagerank, spmv) and the lane-jitter offsets vary; averaging across
-    seeds tightens the comparison of close configurations.
+    seeds tightens the comparison of close configurations.  The full
+    seeds × workloads × configs grid is one sweep batch, so every cell —
+    across seeds too — can run in parallel.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    values: dict[str, list[float]] = {key: [] for key in configs}
+    if workloads is None:
+        workloads = all_workloads()
+    unsecure = scheme_config("unsecure", n_gpus=n_gpus)
+    sweeper = SweepRunner(jobs=jobs, cache=default_cache(cache_dir, use_cache))
+
+    grid: list[SweepJob] = []
     for seed in seeds:
-        runner = ExperimentRunner(n_gpus=n_gpus, seed=seed, scale=scale, workloads=workloads)
-        for wl in runner.sweep(configs):
+        for spec in workloads:
+            grid.append(SweepJob(spec=spec, config=unsecure, seed=seed, scale=scale))
+            for config in configs.values():
+                grid.append(SweepJob(spec=spec, config=config, seed=seed, scale=scale))
+    reports = iter(sweeper.run_jobs(grid))
+
+    values: dict[str, list[float]] = {key: [] for key in configs}
+    for _seed in seeds:
+        for _spec in workloads:
+            baseline = next(reports)
             for key in configs:
-                values[key].append(wl.slowdown(key))
+                values[key].append(next(reports).slowdown_vs(baseline))
     return {key: geometric_mean(vals) for key, vals in values.items()}
 
 

@@ -37,14 +37,22 @@ def generate_all(
     include_scaling: bool = True,
     verbose: bool = True,
     workloads: list | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> dict[str, str]:
     """Run everything; returns {experiment name: formatted table}.
 
     ``workloads`` restricts the sweep (default: all 17 of Table IV).
+    ``jobs``/``cache_dir``/``use_cache`` configure the sweep execution
+    layer (see :class:`ExperimentRunner`) for every runner built here.
     """
     out_path = Path(out_dir)
     out_path.mkdir(parents=True, exist_ok=True)
-    runner4 = ExperimentRunner(n_gpus=4, seed=seed, scale=scale, workloads=workloads)
+    exec_kwargs = {"jobs": jobs, "cache_dir": cache_dir, "use_cache": use_cache}
+    runner4 = ExperimentRunner(
+        n_gpus=4, seed=seed, scale=scale, workloads=workloads, **exec_kwargs
+    )
     sections: dict[str, str] = {}
 
     def record(name: str, text: str) -> None:
@@ -76,7 +84,9 @@ def generate_all(
 
     if include_scaling:
         for n in (8, 16):
-            runner = ExperimentRunner(n_gpus=n, seed=seed, scale=scale, workloads=workloads)
+            runner = ExperimentRunner(
+                n_gpus=n, seed=seed, scale=scale, workloads=workloads, **exec_kwargs
+            )
             record(
                 f"fig{24 if n == 8 else 25}_scaling_{n}gpus",
                 fig24_25_scaling.format_result(fig24_25_scaling.run(n, runner)),

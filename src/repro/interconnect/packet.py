@@ -38,9 +38,14 @@ class PacketKind(Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One message on a link."""
+    """One message on a link.
+
+    ``slots=True``: packets are the most-allocated object in a simulation
+    (one per message per hop), and slotted instances are both smaller and
+    faster to field-access in the transport hot path.
+    """
 
     kind: PacketKind
     src: int

@@ -1,0 +1,33 @@
+"""Parallel sweep execution and persistent result caching.
+
+The experiment layer describes *what* to simulate — (workload, config,
+seed) cells — and this package decides *how*: deduplicated, cache-backed,
+fanned out over worker processes, merged back in deterministic order.
+
+    from repro.runner import SweepJob, SweepRunner, default_cache
+
+    runner = SweepRunner(jobs=4, cache=default_cache())
+    reports = runner.run_jobs([SweepJob(spec, config, seed=1, scale=0.5)])
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
+from repro.runner.jobs import SweepJob, cache_salt, execute_job, is_registry_spec, job_key
+from repro.runner.serialize import report_from_dict, report_to_dict
+from repro.runner.sweep import SweepError, SweepRunner, SweepStats, resolve_jobs
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "default_cache",
+    "SweepJob",
+    "execute_job",
+    "job_key",
+    "cache_salt",
+    "is_registry_spec",
+    "report_to_dict",
+    "report_from_dict",
+    "SweepError",
+    "SweepRunner",
+    "SweepStats",
+    "resolve_jobs",
+]

@@ -1,0 +1,96 @@
+"""Sweep job definition and content-hash cache keys.
+
+A :class:`SweepJob` is one independent simulation cell: a workload at a
+seed/scale under one :class:`~repro.configs.SystemConfig`.  Jobs are frozen
+and hashable, so identical cells requested twice in one sweep (every figure
+re-requests the unsecure baseline) deduplicate structurally.
+
+The persistent cache key is a SHA-256 over a canonical JSON rendering of
+everything that determines the result: workload name, seed, scale, lane
+count, the *entire* configuration tree, and a code-version salt.  Changing
+any swept field — or bumping the package version — changes the hash, so
+stale entries simply stop being found rather than needing eviction logic.
+Only registry workloads get persistent keys: a custom
+:class:`~repro.workloads.registry.WorkloadSpec` (e.g. a synthetic spec
+closed over arbitrary knobs) has no stable content identity, so it runs
+with the in-memory memo only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+
+import repro
+from repro.configs import SystemConfig
+from repro.system import SimulationReport, run_workload
+from repro.workloads import get_workload
+from repro.workloads.registry import WorkloadSpec
+
+#: Bump when the key layout (not the simulated behavior) changes.
+KEY_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent (workload, config, seed) simulation."""
+
+    spec: WorkloadSpec
+    config: SystemConfig
+    seed: int
+    scale: float
+    n_lanes: int = 8
+
+    def describe(self) -> str:
+        scheme = self.config.security.scheme
+        if self.config.security.batching:
+            scheme = "batching"
+        return f"{self.spec.name}/{scheme}/{self.config.n_gpus}gpus/seed{self.seed}/scale{self.scale}"
+
+
+def is_registry_spec(spec: WorkloadSpec) -> bool:
+    """True when ``spec`` is exactly the Table IV registry entry of its name."""
+    try:
+        return get_workload(spec.name) is spec
+    except KeyError:
+        return False
+
+
+def cache_salt() -> str:
+    """Code-version salt folded into every cache key.
+
+    ``REPRO_CACHE_SALT`` lets a developer segregate (or force-invalidate)
+    cache entries without touching the package version.
+    """
+    extra = os.environ.get("REPRO_CACHE_SALT", "")
+    return f"{repro.__version__}+{extra}" if extra else repro.__version__
+
+
+def job_key(job: SweepJob) -> str | None:
+    """Content hash for the persistent cache, or None when not cacheable."""
+    if not is_registry_spec(job.spec):
+        return None
+    material = {
+        "schema": KEY_SCHEMA,
+        "salt": cache_salt(),
+        "workload": job.spec.name,
+        "seed": job.seed,
+        "scale": job.scale,
+        "n_lanes": job.n_lanes,
+        "config": asdict(job.config),
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def execute_job(job: SweepJob) -> SimulationReport:
+    """Run one cell: generate the trace and simulate it.  Pure & deterministic."""
+    trace = job.spec.generate(
+        n_gpus=job.config.n_gpus, seed=job.seed, scale=job.scale, n_lanes=job.n_lanes
+    )
+    return run_workload(job.config, trace)
+
+
+__all__ = ["SweepJob", "execute_job", "job_key", "cache_salt", "is_registry_spec", "KEY_SCHEMA"]

@@ -1,0 +1,204 @@
+"""Parallel sweep execution with persistent caching.
+
+:class:`SweepRunner` takes a list of :class:`~repro.runner.jobs.SweepJob`
+cells and returns their :class:`~repro.system.SimulationReport` results *in
+input order*, regardless of how the work was executed:
+
+1. structurally identical jobs are deduplicated (every figure re-requests
+   the unsecure baseline per workload),
+2. cells present in the persistent cache are loaded, not simulated,
+3. remaining cells fan out over a ``ProcessPoolExecutor`` when ``jobs > 1``
+   — the simulations are CPU-bound pure Python, so processes (not threads)
+   are the only way to use more than one core,
+4. anything the pool could not produce (pickling failure, worker crash,
+   per-job timeout, a broken pool, an OS without working process pools)
+   falls back to in-process serial execution with bounded retries.
+
+Each cell is a pure deterministic function of its job description, so the
+merge is trivially deterministic: results carry no trace of where or in
+what order they ran, and serial / parallel / cached runs of the same sweep
+produce bit-identical reports (tested in ``tests/test_sweep_runner.py``).
+
+Workers receive registry workloads *by name* and rebuild the spec from the
+registry on their side — that keeps the cross-process payload free of
+closures (synthetic specs close over arbitrary knobs and may not pickle);
+non-registry specs simply run serially in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.system import SimulationReport
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import SweepJob, execute_job, is_registry_spec, job_key
+from repro.runner.serialize import report_from_dict
+
+
+class SweepError(RuntimeError):
+    """A sweep cell failed on every execution attempt."""
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def _worker(payload: tuple[str, Any, int, float, int]) -> dict[str, Any]:
+    """Process-pool entry point: rebuild the job from the registry and run it.
+
+    Returns the report as a JSON-safe dict — the exact serialization the
+    cache uses — so the parent-side decode path is shared with cache loads.
+    """
+    from repro.workloads import get_workload
+
+    name, config, seed, scale, n_lanes = payload
+    job = SweepJob(spec=get_workload(name), config=config, seed=seed, scale=scale, n_lanes=n_lanes)
+    from repro.runner.serialize import report_to_dict
+
+    return report_to_dict(execute_job(job))
+
+
+@dataclass
+class SweepStats:
+    """Where the cells of the last ``run_jobs`` call came from."""
+
+    requested: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    parallel_runs: int = 0
+    serial_runs: int = 0
+    retries: int = 0
+    fallbacks: int = 0  # cells the pool failed and serial execution rescued
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SweepRunner:
+    """Fans independent simulation cells out over processes, with caching.
+
+    ``jobs``     worker processes (1 = serial; None = ``REPRO_JOBS`` or 1)
+    ``cache``    optional :class:`ResultCache`; None disables persistence
+    ``timeout``  per-job seconds before the parent gives up on a worker and
+                 re-runs the cell serially (None = wait forever)
+    ``retries``  extra serial attempts per cell after its first failure
+    """
+
+    jobs: int | None = None
+    cache: ResultCache | None = None
+    timeout: float | None = None
+    retries: int = 1
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def run_jobs(self, sweep_jobs: Sequence[SweepJob]) -> list[SimulationReport]:
+        """Execute every cell and return reports in input order."""
+        n_workers = resolve_jobs(self.jobs)
+        self.stats = SweepStats(requested=len(sweep_jobs))
+
+        # Stable-order dedup: dict preserves first-seen order.
+        unique: dict[SweepJob, SimulationReport | None] = {}
+        for job in sweep_jobs:
+            if job not in unique:
+                unique[job] = None
+        self.stats.deduplicated = len(sweep_jobs) - len(unique)
+
+        keys: dict[SweepJob, str | None] = {job: job_key(job) for job in unique}
+        if self.cache is not None:
+            for job in unique:
+                key = keys[job]
+                if key is not None:
+                    cached = self.cache.load(key)
+                    if cached is not None:
+                        unique[job] = cached
+                        self.stats.cache_hits += 1
+
+        pending = [job for job, report in unique.items() if report is None]
+        if n_workers > 1 and len(pending) > 1:
+            self._run_parallel(pending, unique, n_workers)
+
+        for job in pending:
+            if unique[job] is None:
+                unique[job] = self._run_serial(job)
+
+        if self.cache is not None:
+            for job in pending:
+                key = keys[job]
+                report = unique[job]
+                if key is not None and report is not None:
+                    try:
+                        self.cache.store(key, report, describe={"job": job.describe()})
+                    except OSError:
+                        break  # cache root unwritable — results still stand
+
+        return [unique[job] for job in sweep_jobs]  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        pending: list[SweepJob],
+        results: dict[SweepJob, SimulationReport | None],
+        n_workers: int,
+    ) -> None:
+        """Best-effort pool execution; whatever fails stays None for serial."""
+        dispatchable = [job for job in pending if is_registry_spec(job.spec)]
+        if len(dispatchable) < 2:
+            return
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(n_workers, len(dispatchable)))
+        except (OSError, ValueError, NotImplementedError):
+            self.stats.fallbacks += len(dispatchable)
+            return
+        abandoned = False
+        try:
+            futures = []
+            for job in dispatchable:
+                payload = (job.spec.name, job.config, job.seed, job.scale, job.n_lanes)
+                try:
+                    futures.append((job, pool.submit(_worker, payload)))
+                except Exception:
+                    self.stats.fallbacks += 1
+            for job, future in futures:
+                try:
+                    results[job] = report_from_dict(future.result(timeout=self.timeout))
+                    self.stats.parallel_runs += 1
+                except FutureTimeoutError:
+                    # The worker may be wedged; don't block shutdown on it.
+                    abandoned = True
+                    self.stats.fallbacks += 1
+                except Exception:
+                    self.stats.fallbacks += 1
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+    def _run_serial(self, job: SweepJob) -> SimulationReport:
+        attempts = max(1, self.retries + 1)
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                report = execute_job(job)
+                self.stats.serial_runs += 1
+                return report
+            except Exception as exc:  # deterministic sims rarely recover, but
+                last_error = exc  # a retry costs little next to a lost sweep
+                if attempt + 1 < attempts:
+                    self.stats.retries += 1
+        raise SweepError(
+            f"sweep cell {job.describe()} failed after {attempts} attempt(s)"
+        ) from last_error
+
+
+__all__ = ["SweepRunner", "SweepStats", "SweepError", "resolve_jobs"]

@@ -38,9 +38,13 @@ class PadOutcome(Enum):
     MISS = "miss"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PadGrant:
-    """Result of acquiring a pad: how long the message waited and why."""
+    """Result of acquiring a pad: how long the message waited and why.
+
+    One grant is allocated per secured message; ``slots=True`` keeps that
+    per-message cost minimal.
+    """
 
     wait: int
     outcome: PadOutcome
@@ -52,6 +56,8 @@ class PadGrant:
 
 class PadStream:
     """Pre-generated pads for one (direction, peer) stream."""
+
+    __slots__ = ("latency", "_ready", "last_use", "consumed")
 
     def __init__(self, latency: int, capacity: int, now: int = 0, prefilled: bool = True) -> None:
         if latency < 1:

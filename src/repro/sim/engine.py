@@ -8,12 +8,17 @@ as an event scheduled at an absolute cycle.
 
 Events scheduled for the same cycle run in FIFO order of scheduling, which
 keeps runs fully deterministic for a fixed workload seed.
+
+The heap stores plain ``(time, seq, event)`` tuples rather than rich
+comparable objects: ``seq`` is unique, so every comparison resolves on the
+first one or two integer elements at C speed and the :class:`Event` handle
+itself is never compared.  The handle is a ``__slots__`` class that exists
+only to support cancellation and introspection.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 
@@ -21,55 +26,79 @@ class SimulationError(RuntimeError):
     """Raised when the engine detects an inconsistent schedule."""
 
 
-@dataclass(order=True)
 class Event:
-    """A single scheduled callback.
+    """Handle for a single scheduled callback.
 
-    Ordering is by ``(time, seq)`` so same-cycle events preserve scheduling
-    order.  ``cancelled`` events stay in the heap but are skipped when popped
+    ``cancelled`` events stay in the heap but are skipped when popped
     (lazy deletion), which is cheaper than heap surgery.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
 
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(time={self.time}, seq={self.seq}{state})"
+
 
 class EventQueue:
-    """Priority queue of :class:`Event` with lazy cancellation."""
+    """Priority queue of :class:`Event` with lazy cancellation.
+
+    ``pop`` and ``peek_time`` both compact the heap top eagerly: consecutive
+    cancelled entries are dropped as soon as they surface, so a heap
+    dominated by cancelled events (a common pattern for wakeup timers that
+    are almost always rescheduled) never pays for them more than once.
+    """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[int, int, Event]] = []
         self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
+    def live_events(self) -> int:
+        """Number of non-cancelled entries (O(n); for tests/diagnostics)."""
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
+
     def push(self, time: int, callback: Callable[[], None]) -> Event:
-        event = Event(time=time, seq=self._seq, callback=callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback)
+        heappush(self._heap, (time, seq, event))
         return event
 
     def pop(self) -> Event | None:
         """Pop the earliest non-cancelled event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
             if not event.cancelled:
+                # Eager compaction: drain cancelled entries now at the top
+                # so the next pop/peek starts from a live event.
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
                 return event
         return None
 
     def peek_time(self) -> int | None:
         """Return the timestamp of the earliest live event without popping."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
 
@@ -113,25 +142,37 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> int:
-        """Drain the event queue.  Returns the final simulation cycle."""
+        """Drain the event queue.  Returns the final simulation cycle.
+
+        The loop works on the heap directly with everything hoisted into
+        locals — this is the hottest code in the repository (every simulated
+        cycle of every sweep goes through it), and attribute lookups per
+        event are measurable at that volume.
+        """
+        heap = self.queue._heap
+        pop = heappop
+        max_cycles = self.max_cycles
+        max_events = self.max_events
+        processed = self.events_processed
         self._running = True
         try:
-            while True:
-                if self.max_events is not None and self.events_processed >= self.max_events:
+            while heap:
+                if max_events is not None and processed >= max_events:
                     break
-                event = self.queue.pop()
-                if event is None:
+                time, _seq, event = pop(heap)
+                if event.cancelled:
+                    continue
+                if max_cycles is not None and time > max_cycles:
                     break
-                if self.max_cycles is not None and event.time > self.max_cycles:
-                    break
-                if event.time < self.now:
+                if time < self.now:
                     raise SimulationError(
-                        f"time went backwards: event at {event.time}, now {self.now}"
+                        f"time went backwards: event at {time}, now {self.now}"
                     )
-                self.now = event.time
-                self.events_processed += 1
+                self.now = time
+                processed += 1
                 event.callback()
         finally:
+            self.events_processed = processed
             self._running = False
         for hook in self._end_hooks:
             hook()

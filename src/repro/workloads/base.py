@@ -22,7 +22,7 @@ class AccessKind(Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """One memory access in a lane trace.
 

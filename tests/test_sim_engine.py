@@ -104,6 +104,68 @@ def test_event_queue_peek_skips_cancelled():
     assert q.peek_time() == 9
 
 
+def test_pop_compacts_heap_dominated_by_cancelled_events():
+    q = EventQueue()
+    events = [q.push(t, lambda: None) for t in range(1000)]
+    live = events[500]
+    for event in events:
+        if event is not live:
+            event.cancel()
+    assert len(q) == 1000
+    popped = q.pop()
+    assert popped is live
+    # one pop drained every cancelled entry: the ones before the live event
+    # on the way to it, and the consecutive cancelled run behind it eagerly
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_pop_compaction_stops_at_next_live_event():
+    q = EventQueue()
+    first = q.push(1, lambda: None)
+    cancelled = [q.push(t, lambda: None) for t in range(2, 6)]
+    survivor = q.push(6, lambda: None)
+    for event in cancelled:
+        event.cancel()
+    assert q.pop() is first
+    # the cancelled run was compacted away, but the live survivor remains
+    assert len(q) == 1
+    assert q.peek_time() == 6
+    assert q.pop() is survivor
+
+
+def test_peek_time_drains_cancelled_prefix():
+    q = EventQueue()
+    events = [q.push(t, lambda: None) for t in range(10)]
+    for event in events[:9]:
+        event.cancel()
+    assert q.peek_time() == 9
+    assert len(q) == 1  # the cancelled prefix was physically removed
+
+
+def test_all_cancelled_heap_drains_to_empty():
+    q = EventQueue()
+    for event in [q.push(t, lambda: None) for t in range(50)]:
+        event.cancel()
+    assert q.peek_time() is None
+    assert len(q) == 0
+
+
+def test_cancelled_wakeup_storm_simulation_still_correct():
+    """A component that always reschedules its wakeup (the GPU lane pump
+    pattern) must not change observable behavior under eager compaction."""
+    sim = Simulator()
+    fired = []
+    pending = []
+    for t in range(1, 200):
+        if pending:
+            pending[-1].cancel()
+        pending.append(sim.schedule(t, lambda t=t: fired.append(t)))
+    sim.run()
+    assert fired == [199]
+    assert sim.events_processed == 1
+
+
 def test_events_processed_counter():
     sim = Simulator()
     for i in range(7):

@@ -1,0 +1,226 @@
+"""Tests for the parallel sweep runner and the persistent result cache.
+
+The load-bearing property is determinism: a sweep must produce
+bit-identical :class:`SimulationReport` metrics whether its cells ran
+serially, across worker processes, or came back from the on-disk cache.
+Everything the figures read goes through ``report_to_dict``, so dict
+equality is the equality that matters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.configs import scheme_config
+from repro.experiments.common import ExperimentRunner, multi_seed_slowdowns
+from repro.runner import (
+    ResultCache,
+    SweepJob,
+    SweepRunner,
+    default_cache,
+    execute_job,
+    job_key,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.workloads import get_workload
+from repro.workloads.synthetic import synthetic_spec
+
+SCALE = 0.1
+
+
+def _grid(seed: int = 1) -> list[SweepJob]:
+    """A small representative sweep: 2 workloads x 3 schemes."""
+    jobs = []
+    for name in ("fir", "matrixmultiplication"):
+        spec = get_workload(name)
+        for scheme in ("unsecure", "private", "batching"):
+            jobs.append(
+                SweepJob(spec=spec, config=scheme_config(scheme), seed=seed, scale=SCALE)
+            )
+    return jobs
+
+
+class TestDeterminism:
+    def test_serial_parallel_cached_bit_identical(self, tmp_path):
+        grid = _grid()
+        serial = SweepRunner(jobs=1).run_jobs(grid)
+
+        par_runner = SweepRunner(jobs=4)
+        parallel = par_runner.run_jobs(grid)
+        assert par_runner.stats.parallel_runs == len(grid)
+
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(jobs=1, cache=cache).run_jobs(grid)  # cold: populates
+        warm_runner = SweepRunner(jobs=1, cache=cache)
+        cached = warm_runner.run_jobs(grid)
+        assert warm_runner.stats.cache_hits == len(grid)
+        assert warm_runner.stats.serial_runs == 0
+
+        for s, p, c in zip(serial, parallel, cached):
+            assert report_to_dict(s) == report_to_dict(p) == report_to_dict(c)
+
+    def test_experiment_runner_parallel_matches_serial(self):
+        workloads = [get_workload("fir")]
+        configs = {"private": scheme_config("private")}
+        r_serial = ExperimentRunner(
+            scale=SCALE, workloads=workloads, jobs=1, use_cache=False
+        ).sweep(configs)
+        r_par = ExperimentRunner(
+            scale=SCALE, workloads=workloads, jobs=4, use_cache=False
+        ).sweep(configs)
+        assert r_serial[0].slowdown("private") == r_par[0].slowdown("private")
+        assert report_to_dict(r_serial[0].baseline) == report_to_dict(r_par[0].baseline)
+
+    def test_multi_seed_slowdowns_parallel_matches_serial(self):
+        workloads = [get_workload("fir")]
+        configs = {"private": scheme_config("private")}
+        kwargs = dict(seeds=(1, 2), scale=SCALE, workloads=workloads, use_cache=False)
+        assert multi_seed_slowdowns(configs, jobs=1, **kwargs) == multi_seed_slowdowns(
+            configs, jobs=3, **kwargs
+        )
+
+
+class TestCache:
+    def test_roundtrip_is_exact(self, tmp_path):
+        job = _grid()[2]  # a secured scheme: exercises OTP stats and ACK counts
+        report = execute_job(job)
+        cache = ResultCache(tmp_path)
+        key = job_key(job)
+        cache.store(key, report)
+        loaded = cache.load(key)
+        assert report_to_dict(loaded) == report_to_dict(report)
+        # integer keys survive the JSON round trip
+        assert loaded.per_gpu_finish == report.per_gpu_finish
+        assert set(loaded.timelines) == set(report.timelines)
+        node = next(iter(report.timelines))
+        assert loaded.timelines[node].stacked_fractions() == report.timelines[
+            node
+        ].stacked_fractions()
+
+    def test_changed_config_field_misses(self, tmp_path):
+        spec = get_workload("fir")
+        base = scheme_config("private")
+        job = SweepJob(spec=spec, config=base, seed=1, scale=SCALE)
+        changed = SweepJob(
+            spec=spec,
+            config=base.with_security(aes_gcm_latency=base.security.aes_gcm_latency + 1),
+            seed=1,
+            scale=SCALE,
+        )
+        assert job_key(job) != job_key(changed)
+
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache)
+        runner.run_jobs([job])
+        runner2 = SweepRunner(jobs=1, cache=cache)
+        runner2.run_jobs([changed])
+        assert runner2.stats.cache_hits == 0
+        assert runner2.stats.serial_runs == 1
+
+    def test_seed_and_scale_change_the_key(self):
+        spec = get_workload("fir")
+        cfg = scheme_config("private")
+        k = job_key(SweepJob(spec=spec, config=cfg, seed=1, scale=SCALE))
+        assert k != job_key(SweepJob(spec=spec, config=cfg, seed=2, scale=SCALE))
+        assert k != job_key(SweepJob(spec=spec, config=cfg, seed=1, scale=SCALE * 2))
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        job = _grid()[0]
+        cache = ResultCache(tmp_path)
+        key = job_key(job)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("{not json")
+        runner = SweepRunner(jobs=1, cache=cache)
+        report = runner.run_jobs([job])[0]
+        assert runner.stats.cache_hits == 0
+        # the entry was rewritten and now loads cleanly
+        assert report_to_dict(cache.load(key)) == report_to_dict(report)
+
+    def test_unwritable_cache_root_does_not_lose_results(self):
+        job = _grid()[0]
+        cache = ResultCache("/proc/definitely-not-writable/cache")
+        runner = SweepRunner(jobs=1, cache=cache)
+        report = runner.run_jobs([job])[0]  # must not raise
+        assert report.workload == "fir"
+        assert cache.stores == 0
+
+    def test_non_registry_spec_is_not_persisted(self, tmp_path):
+        spec = synthetic_spec("custom-synth", remote_fraction=0.5)
+        job = SweepJob(spec=spec, config=scheme_config("unsecure"), seed=1, scale=SCALE)
+        assert job_key(job) is None
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).run_jobs([job])
+        assert list(cache.root.glob("*.json")) == []
+
+    def test_default_cache_respects_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert default_cache() is None
+        assert default_cache(use_cache=True) is not None  # explicit arg wins
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envdir"))
+        cache = default_cache()
+        assert cache is not None and cache.root == tmp_path / "envdir"
+
+
+class TestSweepMechanics:
+    def test_duplicate_jobs_deduplicate_but_keep_order(self):
+        spec = get_workload("fir")
+        a = SweepJob(spec=spec, config=scheme_config("unsecure"), seed=1, scale=SCALE)
+        b = SweepJob(spec=spec, config=scheme_config("private"), seed=1, scale=SCALE)
+        runner = SweepRunner(jobs=1)
+        reports = runner.run_jobs([a, b, a, b, a])
+        assert runner.stats.deduplicated == 3
+        assert runner.stats.serial_runs == 2
+        assert [r.scheme for r in reports] == [
+            "unsecure", "private", "unsecure", "private", "unsecure",
+        ]
+        assert reports[0] is reports[2] is reports[4]
+
+    def test_serial_retry_recovers_from_transient_failure(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        job = _grid()[0]
+        real = sweep_mod.execute_job
+        calls = {"n": 0}
+
+        def flaky(j):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(j)
+
+        monkeypatch.setattr(sweep_mod, "execute_job", flaky)
+        runner = SweepRunner(jobs=1, retries=1)
+        report = runner.run_jobs([job])[0]
+        assert report.workload == job.spec.name
+        assert runner.stats.retries == 1
+
+    def test_serial_failure_exhausts_retries(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+        from repro.runner import SweepError
+
+        monkeypatch.setattr(
+            sweep_mod, "execute_job", lambda j: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        with pytest.raises(SweepError):
+            SweepRunner(jobs=1, retries=1).run_jobs([_grid()[0]])
+
+    def test_memo_identity_preserved_within_runner(self):
+        runner = ExperimentRunner(
+            scale=SCALE, workloads=[get_workload("fir")], use_cache=False
+        )
+        spec = runner.workloads[0]
+        cfg = scheme_config("unsecure")
+        assert runner.run(spec, cfg) is runner.run(spec, cfg)
+
+    def test_cache_file_is_valid_json_with_description(self, tmp_path):
+        job = _grid()[0]
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).run_jobs([job])
+        (path,) = cache.root.glob("*.json")
+        data = json.loads(path.read_text())
+        assert data["describe"]["job"].startswith("fir/")
+        assert report_from_dict(data["report"]).workload == "fir"
