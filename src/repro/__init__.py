@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.configs import (
+    FaultConfig,
     GpuConfig,
     LinkConfig,
     MetadataConfig,
@@ -30,6 +31,7 @@ from repro.configs import (
     default_config,
     scheme_config,
 )
+from repro.interconnect.faults import LinkFailureError
 from repro.system import MultiGpuSystem, OtpDistribution, SimulationReport, run_workload
 from repro.workloads import (
     TraceBuilder,
@@ -43,8 +45,10 @@ from repro.workloads import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "FaultConfig",
     "GpuConfig",
     "LinkConfig",
+    "LinkFailureError",
     "MetadataConfig",
     "MigrationConfig",
     "SecurityConfig",

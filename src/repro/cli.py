@@ -29,6 +29,7 @@ EXPERIMENTS = {
     "fig15": ("repro.experiments.fig15_16_burstiness", {"needs_runner": True}),
     "fig21": ("repro.experiments.fig21_main_result", {"needs_runner": True}),
     "fig26": ("repro.experiments.fig26_aes_latency", {"needs_runner": True}),
+    "fault": ("repro.experiments.fig_fault_sweep", {"needs_runner": True}),
 }
 
 

@@ -118,6 +118,72 @@ class SecurityConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Unreliable-interconnect model: injected link faults and recovery knobs.
+
+    Per secured data-block transmission a single seeded roll picks at most
+    one fault (rates are therefore mutually exclusive and must sum to <= 1):
+
+    * ``drop_rate``      — the packet vanishes on the wire (bandwidth is
+      still consumed: the bits were sent, then lost),
+    * ``corrupt_rate``   — a payload bit flips; secure channels catch it at
+      MsgMAC verification, the unsecure fabric delivers it silently,
+    * ``duplicate_rate`` — the link replays the wire message once more,
+    * ``delay_rate``     — a latency spike of ``delay_cycles`` (congestion,
+      lane retraining) hits the packet.
+
+    The recovery side belongs to the secure channel: a sender arms a
+    retransmission timer per outstanding block (``ack_timeout`` cycles on
+    the wire without an ACK), backs off exponentially by ``backoff_factor``
+    up to ``backoff_max`` per retry, and gives up after ``max_retries``
+    retransmissions with a structured
+    :class:`~repro.interconnect.faults.LinkFailureError` instead of hanging.
+
+    All randomness derives from ``seed`` via per-directed-pair generators,
+    so runs are bit-reproducible across serial / parallel / cached
+    execution regardless of event interleaving between pairs.
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_cycles: int = 800
+    seed: int = 0
+    ack_timeout: int = 2500  # sender RTO: cycles on the wire without an ACK
+    max_retries: int = 8  # retransmissions before declaring link failure
+    backoff_factor: float = 2.0
+    backoff_max: int = 40000  # RTO ceiling under repeated timeouts
+
+    def __post_init__(self) -> None:
+        rates = (self.drop_rate, self.corrupt_rate, self.duplicate_rate, self.delay_rate)
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            raise ValueError("fault rates must be probabilities in [0, 1]")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError("combined fault rate cannot exceed 1")
+        if self.delay_cycles < 0:
+            raise ValueError("delay_cycles must be non-negative")
+        if self.ack_timeout < 1:
+            raise ValueError("ack_timeout must be at least one cycle")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max < self.ack_timeout:
+            raise ValueError("backoff_max must be >= ack_timeout")
+
+    @property
+    def total_rate(self) -> float:
+        return self.drop_rate + self.corrupt_rate + self.duplicate_rate + self.delay_rate
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can actually fire; False keeps every hot
+        path (and every cache key) identical to the clean-channel model."""
+        return self.total_rate > 0.0
+
+
+@dataclass(frozen=True)
 class MigrationConfig:
     """Access-counter page-migration policy parameters (§V-A)."""
 
@@ -135,6 +201,7 @@ class SystemConfig:
     link: LinkConfig = field(default_factory=LinkConfig)
     security: SecurityConfig = field(default_factory=SecurityConfig)
     migration: MigrationConfig = field(default_factory=MigrationConfig)
+    fault: FaultConfig = field(default_factory=FaultConfig)
     cpu_dram_latency: int = 220
     timeline_interval: int = 5000  # bucketing for Figs 13/14 series
 
@@ -149,6 +216,9 @@ class SystemConfig:
 
     def with_security(self, **overrides) -> "SystemConfig":
         return replace(self, security=replace(self.security, **overrides))
+
+    def with_fault(self, **overrides) -> "SystemConfig":
+        return replace(self, fault=replace(self.fault, **overrides))
 
 
 def default_config(n_gpus: int = 4, **security_overrides) -> SystemConfig:
@@ -178,6 +248,7 @@ __all__ = [
     "LinkConfig",
     "MetadataConfig",
     "SecurityConfig",
+    "FaultConfig",
     "MigrationConfig",
     "SystemConfig",
     "default_config",

@@ -11,6 +11,7 @@ from repro.interconnect.packet import Packet, PacketKind
 from repro.interconnect.link import Channel, Link
 from repro.interconnect.topology import Topology, NodeId, CPU_NODE
 from repro.interconnect.arbiter import RoundRobinArbiter
+from repro.interconnect.faults import FaultInjector, FaultVerdict, LinkFailureError
 
 __all__ = [
     "Packet",
@@ -21,4 +22,7 @@ __all__ = [
     "NodeId",
     "CPU_NODE",
     "RoundRobinArbiter",
+    "FaultInjector",
+    "FaultVerdict",
+    "LinkFailureError",
 ]

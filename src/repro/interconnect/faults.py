@@ -1,0 +1,129 @@
+"""Link-level fault injection for the timing simulator.
+
+The functional layer (:mod:`repro.secure.faults`) proves the cryptographic
+machinery *detects* tampering and replay; this module makes the *timing*
+stack suffer the same hostile channel so the performance cost of recovery
+becomes measurable.  A :class:`FaultInjector` rolls one seeded verdict per
+secured data-block transmission: deliver intact, drop, bit-corrupt,
+duplicate, or delay-spike (see :class:`~repro.configs.FaultConfig`).
+
+Determinism is load-bearing: the sweep runner promises bit-identical
+reports across serial / parallel / cached execution, so every verdict
+stream is drawn from a per-directed-pair ``random.Random`` seeded from
+``(config seed, src, dst)``.  Verdicts for the pair (1, 2) depend only on
+how many transmissions (1 → 2) came before — never on how sends to other
+pairs interleave with them.
+
+When a secure sender exhausts its retransmission budget the channel raises
+:class:`LinkFailureError`: a structured diagnostic that terminates the
+simulation cleanly instead of letting the workload deadlock on a message
+that will never arrive.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.configs import FaultConfig
+
+
+class FaultVerdict(Enum):
+    """Fate of one wire transmission."""
+
+    OK = "ok"
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+
+
+class FaultInjector:
+    """Seeded per-pair fault verdicts for every data-block transmission."""
+
+    __slots__ = ("cfg", "_rngs")
+
+    def __init__(self, cfg: FaultConfig) -> None:
+        self.cfg = cfg
+        self._rngs: dict[tuple[int, int], random.Random] = {}
+
+    def _rng(self, src: int, dst: int) -> random.Random:
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            # String seeding hashes through SHA-512: stable across processes
+            # and Python versions, unlike builtin hash() of tuples.
+            rng = random.Random(f"fault:{self.cfg.seed}:{src}->{dst}")
+            self._rngs[key] = rng
+        return rng
+
+    def decide(self, src: int, dst: int) -> FaultVerdict:
+        """Roll the fate of one (src → dst) transmission."""
+        roll = self._rng(src, dst).random()
+        cfg = self.cfg
+        if roll < cfg.drop_rate:
+            return FaultVerdict.DROP
+        roll -= cfg.drop_rate
+        if roll < cfg.corrupt_rate:
+            return FaultVerdict.CORRUPT
+        roll -= cfg.corrupt_rate
+        if roll < cfg.duplicate_rate:
+            return FaultVerdict.DUPLICATE
+        roll -= cfg.duplicate_rate
+        if roll < cfg.delay_rate:
+            return FaultVerdict.DELAY
+        return FaultVerdict.OK
+
+
+class LinkFailureError(RuntimeError):
+    """A message exhausted its retransmission budget.
+
+    Raised by the secure channel when ``max_retries`` retransmissions of
+    the same logical block all failed.  Carries the full diagnostic so the
+    caller (sweep runner, experiment harness, operator) can report *which*
+    link degraded and how hard recovery tried, instead of debugging a hung
+    simulation.
+    """
+
+    def __init__(
+        self,
+        *,
+        src: int,
+        dst: int,
+        pid: int,
+        counter: int,
+        attempts: int,
+        first_sent: int,
+        gave_up_at: int,
+        fault_stats: dict | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.pid = pid
+        self.counter = counter
+        self.attempts = attempts
+        self.first_sent = first_sent
+        self.gave_up_at = gave_up_at
+        self.fault_stats = dict(fault_stats or {})
+        super().__init__(
+            f"link {src}->{dst} failed: message pid={pid} undeliverable after "
+            f"{attempts} transmissions (first sent cycle {first_sent}, gave up "
+            f"cycle {gave_up_at})"
+        )
+
+    @property
+    def diagnostic(self) -> dict:
+        """Structured rendering for logs and reports."""
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "pid": self.pid,
+            "counter": self.counter,
+            "attempts": self.attempts,
+            "first_sent": self.first_sent,
+            "gave_up_at": self.gave_up_at,
+            "fault_stats": dict(self.fault_stats),
+        }
+
+
+__all__ = ["FaultVerdict", "FaultInjector", "LinkFailureError"]

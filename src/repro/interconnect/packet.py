@@ -21,6 +21,7 @@ class PacketKind(Enum):
     DATA_RESP = "data_resp"  # block data response
     WRITE_ACK = "write_ack"  # completion of a remote write
     SEC_ACK = "sec_ack"  # replay-protection acknowledgement
+    SEC_NACK = "sec_nack"  # MAC-failure report requesting retransmission
     BATCH_MAC = "batch_mac"  # standalone batched MsgMAC (timeout close)
     MIGRATION_REQ = "migration_req"  # ask a page's owner to migrate it
     MIGRATION_DATA = "migration_data"  # one block of a 4 KB page migration

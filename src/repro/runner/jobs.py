@@ -72,6 +72,17 @@ def job_key(job: SweepJob) -> str | None:
     """Content hash for the persistent cache, or None when not cacheable."""
     if not is_registry_spec(job.spec):
         return None
+    config_material = asdict(job.config)
+    # The fault section only enters the key when it can affect the result
+    # (any non-zero rate): an all-zero FaultConfig simulates identically to
+    # a config that predates fault injection, and must hash identically so
+    # existing cache entries keep matching.
+    fault = config_material.pop("fault", None)
+    if fault is not None and any(
+        fault.get(rate, 0.0)
+        for rate in ("drop_rate", "corrupt_rate", "duplicate_rate", "delay_rate")
+    ):
+        config_material["fault"] = fault
     material = {
         "schema": KEY_SCHEMA,
         "salt": cache_salt(),
@@ -79,7 +90,7 @@ def job_key(job: SweepJob) -> str | None:
         "seed": job.seed,
         "scale": job.scale,
         "n_lanes": job.n_lanes,
-        "config": asdict(job.config),
+        "config": config_material,
     }
     canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.sim.stats import IntervalSeries
+from repro.sim.stats import FaultStats, IntervalSeries
 from repro.system import OtpDistribution, SimulationReport
 
 #: Bump when the report layout changes; stale cache entries stop matching.
@@ -45,7 +45,7 @@ def _otp_to_dict(otp: OtpDistribution) -> dict[str, float]:
 
 
 def report_to_dict(report: SimulationReport) -> dict[str, Any]:
-    return {
+    out = {
         "schema": REPORT_SCHEMA,
         "workload": report.workload,
         "scheme": report.scheme,
@@ -67,6 +67,11 @@ def report_to_dict(report: SimulationReport) -> dict[str, Any]:
         "timelines": {str(node): series_to_dict(s) for node, s in report.timelines.items()},
         "events_processed": report.events_processed,
     }
+    # Optional key, present only under fault injection: fault-free reports
+    # stay byte-identical to the pre-fault layout (and to schema 1 readers).
+    if report.fault_stats is not None:
+        out["fault_stats"] = report.fault_stats.as_dict()
+    return out
 
 
 def report_from_dict(data: dict[str, Any]) -> SimulationReport:
@@ -92,6 +97,7 @@ def report_from_dict(data: dict[str, Any]) -> SimulationReport:
         burst32_fractions=list(data["burst32_fractions"]),
         timelines={int(node): series_from_dict(s) for node, s in data["timelines"].items()},
         events_processed=data["events_processed"],
+        fault_stats=FaultStats(**data["fault_stats"]) if "fault_stats" in data else None,
     )
 
 

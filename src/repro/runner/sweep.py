@@ -162,7 +162,7 @@ class SweepRunner:
         except (OSError, ValueError, NotImplementedError):
             self.stats.fallbacks += len(dispatchable)
             return
-        abandoned = False
+        wedged = False
         try:
             futures = []
             for job in dispatchable:
@@ -172,17 +172,40 @@ class SweepRunner:
                 except Exception:
                     self.stats.fallbacks += 1
             for job, future in futures:
+                if wedged and not future.done():
+                    # A worker already blew its deadline and may be wedged
+                    # in its slot.  Waiting another full timeout per
+                    # remaining future would serialize the damage, so only
+                    # harvest results that are already in hand.
+                    self.stats.fallbacks += 1
+                    continue
                 try:
                     results[job] = report_from_dict(future.result(timeout=self.timeout))
                     self.stats.parallel_runs += 1
                 except FutureTimeoutError:
-                    # The worker may be wedged; don't block shutdown on it.
-                    abandoned = True
+                    wedged = True
                     self.stats.fallbacks += 1
                 except Exception:
                     self.stats.fallbacks += 1
         finally:
-            pool.shutdown(wait=not abandoned, cancel_futures=True)
+            # Grab the process handles first: shutdown() clears _processes.
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=not wedged, cancel_futures=True)
+            if wedged:
+                # shutdown(wait=False) leaves a wedged worker running —
+                # possibly forever, holding a core and its memory.  Kill
+                # the pool's processes outright; every unharvested cell is
+                # re-run serially by the caller anyway.
+                for proc in processes:
+                    try:
+                        proc.terminate()
+                    except (OSError, ValueError):
+                        pass
+                for proc in processes:
+                    try:
+                        proc.join(timeout=5.0)
+                    except (OSError, ValueError, AssertionError):
+                        pass
 
     def _run_serial(self, job: SweepJob) -> SimulationReport:
         attempts = max(1, self.retries + 1)

@@ -10,6 +10,17 @@ receiver: acquire receive pads (scheme, honouring counter sync) → XOR
           decrypt (+ blocking MAC verify unless lazily batched) → deliver
           → emit replay-protection ACK (per message, or per batch)
 
+When the configuration enables link-fault injection
+(:class:`~repro.configs.FaultConfig`), the secure transport additionally
+runs a detection-driven recovery protocol (see ``docs/ROBUSTNESS.md``):
+corrupted blocks fail their MsgMAC and trigger a NACK, dropped blocks fire
+a sender-side retransmission timer with exponential backoff, wire
+duplicates are rejected by the receiver's counter check, and a retry
+budget bounds how long any block keeps the link busy — exhausting it
+raises a structured :class:`~repro.interconnect.faults.LinkFailureError`.
+Every retransmitted block burns a fresh counter/pad, so recovery cost
+feeds straight back into the OTP allocator the paper studies.
+
 Both transports also collect the paper's motivation measurements: per-node
 send/receive timelines (Figs 13/14) and per-pair data-block burstiness
 histograms (Figs 15/16).
@@ -19,6 +30,7 @@ from __future__ import annotations
 
 from repro.configs import SystemConfig
 from repro.core.batching import BatchingController, MsgMacStorage
+from repro.interconnect.faults import FaultInjector, FaultVerdict, LinkFailureError
 from repro.interconnect.packet import Packet, PacketKind
 from repro.interconnect.topology import Topology
 from repro.secure.engine import AesGcmEngineModel
@@ -26,14 +38,39 @@ from repro.secure.metadata import MetadataAccountant
 from repro.secure.replay import ReplayGuard
 from repro.secure.schemes import build_scheme
 from repro.sim.engine import Simulator
-from repro.sim.stats import Histogram, IntervalSeries
+from repro.sim.stats import FaultStats, Histogram, IntervalSeries
 from repro.transport import DeliveryHandler
 
 #: Histogram bin edges of Figs 15/16.
 BURST_EDGES = [40, 160, 640, 2560]
 
 #: Kinds excluded from the request timelines (protocol housekeeping).
-_HOUSEKEEPING = frozenset({PacketKind.SEC_ACK, PacketKind.BATCH_MAC})
+_HOUSEKEEPING = frozenset({PacketKind.SEC_ACK, PacketKind.SEC_NACK, PacketKind.BATCH_MAC})
+
+
+class _PendingMessage:
+    """Sender-side retransmission state for one in-flight data block."""
+
+    __slots__ = (
+        "packet",
+        "counter",
+        "counters",
+        "batch_ctx",
+        "attempts",
+        "rto",
+        "timer",
+        "first_sent",
+    )
+
+    def __init__(self, packet: Packet, counter: int, batch_ctx, rto: int, now: int) -> None:
+        self.packet = packet
+        self.counter = counter  # the counter of the *current* wire copy
+        self.counters = [counter]  # every counter any copy ever used
+        self.batch_ctx = batch_ctx
+        self.attempts = 1  # transmissions so far (first copy included)
+        self.rto = rto
+        self.timer = None
+        self.first_sent = now
 
 
 class _TransportBase:
@@ -53,6 +90,10 @@ class _TransportBase:
         self._burst_state: dict[tuple[int, int], list[int]] = {}
         self.messages_sent = 0
         self.data_blocks = 0
+        # Fault injection is strictly opt-in: with every rate at zero the
+        # injector is absent and the clean-channel paths run unchanged.
+        self.fault_injector = FaultInjector(cfg.fault) if cfg.fault.enabled else None
+        self.fault_stats = FaultStats() if self.fault_injector is not None else None
 
     # ------------------------------------------------------------------
     # Registry
@@ -71,6 +112,9 @@ class _TransportBase:
     # ------------------------------------------------------------------
     # Instrumentation
     # ------------------------------------------------------------------
+    def _note_fault(self, packet: Packet, event: str) -> None:
+        """Observation hook for fault/recovery events (wrapped by tracers)."""
+
     def _note_send(self, packet: Packet, now: int) -> None:
         self.messages_sent += 1
         if packet.kind in _HOUSEKEEPING:
@@ -105,11 +149,50 @@ class _TransportBase:
 
 
 class UnsecureTransport(_TransportBase):
-    """The vanilla multi-GPU fabric: no pads, no metadata, no ACKs."""
+    """The vanilla multi-GPU fabric: no pads, no metadata, no ACKs.
+
+    Under fault injection the unsecure fabric has *no detection*: dropped
+    payloads and flipped bits reach the consuming device as silently wrong
+    data at zero timing cost.  The :class:`FaultStats` ledger records the
+    damage (``lost_messages`` / ``corrupted_deliveries``) that the secure
+    schemes' recovery machinery exists to prevent — the asymmetry
+    ``experiments.fig_fault_sweep`` plots.
+    """
 
     def send(self, packet: Packet, now: int) -> None:
         self._note_send(packet, now)
+        if self.fault_injector is not None and packet.kind.carries_data:
+            self._send_faulty(packet, now)
+            return
         arrival = self.topology.send(packet, now)
+        self.sim.schedule_at(
+            arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
+        )
+
+    def _send_faulty(self, packet: Packet, now: int) -> None:
+        verdict = self.fault_injector.decide(packet.src, packet.dst)
+        stats = self.fault_stats
+        arrival = self.topology.send(packet, now)
+        if verdict is FaultVerdict.DROP:
+            # The payload is gone but nothing downstream can tell: the
+            # device consumes stale/garbage data on schedule.
+            stats.drops_injected += 1
+            stats.lost_messages += 1
+            self._note_fault(packet, "drop")
+        elif verdict is FaultVerdict.CORRUPT:
+            stats.corruptions_injected += 1
+            stats.corrupted_deliveries += 1
+            self._note_fault(packet, "corrupt")
+        elif verdict is FaultVerdict.DUPLICATE:
+            stats.duplicates_injected += 1
+            self._note_fault(packet, "duplicate")
+            # The replayed copy burns link bandwidth; the device-side
+            # interface absorbs the duplicate (no protocol notices).
+            self.topology.send(packet, arrival)
+        elif verdict is FaultVerdict.DELAY:
+            stats.delays_injected += 1
+            self._note_fault(packet, "delay")
+            arrival += self.cfg.fault.delay_cycles
         self.sim.schedule_at(
             arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
         )
@@ -155,6 +238,16 @@ class SecureTransport(_TransportBase):
         #: when SecurityConfig.audit is set, every secured message is
         #: recorded for functional replay (repro.secure.audit)
         self.audit_log: list = [] if sec.audit else None
+        # Recovery-protocol state, populated only under fault injection:
+        # in-flight blocks awaiting their ACK (insertion-ordered per pair),
+        # an alias from any live wire counter to the logical block it
+        # carries, the receiver's already-seen counter sets (wire-replay
+        # rejection), and the set of block pids already handed to a device
+        # (late original vs. retransmit races deliver exactly once).
+        self._pending: dict[tuple[int, int], dict[int, _PendingMessage]] = {}
+        self._counter_owner: dict[tuple[int, int, int], int] = {}
+        self._recv_seen: dict[tuple[int, int], set[int]] = {}
+        self._delivered_pids: dict[tuple[int, int], set[int]] = {}
 
     # ------------------------------------------------------------------
     # Send path
@@ -195,6 +288,10 @@ class SecureTransport(_TransportBase):
         if sec.batching and self.accountant.batchable(packet.kind):
             grant = self.batchers[src].add_block(dst, now)
             meta = self.accountant.batched_block_meta(grant.opens_batch, grant.closes_batch)
+            if self.fault_injector is not None:
+                # Fault-hardened batching verifies every block eagerly, so
+                # each block keeps its own MsgMAC on the wire.
+                meta += self.accountant.eager_block_mac_bytes()
             batch_ctx = grant
             if grant.opens_batch:
                 self.sim.schedule(
@@ -232,6 +329,16 @@ class SecureTransport(_TransportBase):
             + engine.mac_fast_path
             + engine.encrypt_fast_path
         )
+        if self.fault_injector is not None and packet.kind.carries_data:
+            # Batched blocks are ACKed at batch close, which may lag by the
+            # batch timeout; the sender's RTO accounts for that known delay
+            # so a slow batch is not mistaken for a lost block.
+            rto = self.cfg.fault.ack_timeout
+            if batch_ctx is not None:
+                rto += sec.batch_timeout
+            pending = _PendingMessage(packet, counter, batch_ctx, rto, launch_at)
+            self._pending.setdefault((src, dst), {})[packet.pid] = pending
+            self._counter_owner[(src, dst, counter)] = packet.pid
         self.sim.schedule_at(
             launch_at,
             lambda p=packet, s=send_grant.receiver_synced, b=batch_ctx, c=counter: self._launch(
@@ -246,19 +353,89 @@ class SecureTransport(_TransportBase):
         return ctr
 
     def _launch(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
+        if self.fault_injector is not None and packet.kind.carries_data:
+            self._launch_faulty(packet, synced, batch_ctx, counter)
+            return
         arrival = self.topology.send(packet, self.sim.now)
         self.sim.schedule_at(
             arrival,
             lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
         )
 
+    def _launch_faulty(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
+        """Put one wire copy on the link, applying the injector's verdict.
+
+        Every copy — original or retransmission — rolls its own verdict and
+        occupies link bandwidth even when dropped (the bits still crossed
+        the wire; only the far end never saw them intact).
+        """
+        now = self.sim.now
+        verdict = self.fault_injector.decide(packet.src, packet.dst)
+        stats = self.fault_stats
+        arrival = self.topology.send(packet, now)
+        if verdict is FaultVerdict.DROP:
+            stats.drops_injected += 1
+            self._note_fault(packet, "drop")
+            # no arrival is scheduled: only the sender's RTO timer can
+            # notice the loss
+        elif verdict is FaultVerdict.CORRUPT:
+            stats.corruptions_injected += 1
+            self._note_fault(packet, "corrupt")
+            self.sim.schedule_at(
+                arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(
+                    p, s, b, c, corrupted=True
+                ),
+            )
+        elif verdict is FaultVerdict.DUPLICATE:
+            stats.duplicates_injected += 1
+            self._note_fault(packet, "duplicate")
+            self.sim.schedule_at(
+                arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            )
+            # the replayed copy trails the original and burns bandwidth;
+            # the receiver's counter check will reject it
+            dup_arrival = self.topology.send(packet, arrival)
+            self.sim.schedule_at(
+                dup_arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            )
+        elif verdict is FaultVerdict.DELAY:
+            stats.delays_injected += 1
+            self._note_fault(packet, "delay")
+            self.sim.schedule_at(
+                arrival + self.cfg.fault.delay_cycles,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            )
+        else:
+            self.sim.schedule_at(
+                arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            )
+        pending = self._pending.get((packet.src, packet.dst), {}).get(packet.pid)
+        if pending is not None:
+            self._arm_timer(pending)
+
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
-    def _arrive(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
+    def _arrive(
+        self, packet: Packet, synced: bool, batch_ctx, counter: int, corrupted: bool = False
+    ) -> None:
         now = self.sim.now
         sec = self.cfg.security
         src, dst = packet.src, packet.dst
+        faulty = self.fault_injector is not None and packet.kind.carries_data
+        if faulty:
+            seen = self._recv_seen.setdefault((src, dst), set())
+            if counter in seen:
+                # Wire replay: the plaintext counter check rejects the copy
+                # before it touches the crypto pipeline or burns a pad.
+                self.fault_stats.duplicates_discarded += 1
+                self._note_fault(packet, "dup-discard")
+                return
+            seen.add(counter)
         engine = self.engines[dst]
         demand = packet.kind is not PacketKind.MIGRATION_DATA
         self.schemes[dst].note_recv(src, now, demand=demand)
@@ -266,9 +443,17 @@ class SecureTransport(_TransportBase):
         recv_grant = self.schemes[dst].acquire_recv(src, start, synced=synced, demand=demand)
         self._recv_crypto_busy[(src, dst)] = start + recv_grant.wait
 
-        lazy = sec.batching and self.accountant.batchable(packet.kind)
+        # A hostile link forfeits lazy verification: batched blocks verify
+        # eagerly so corruption is caught before the block leaves the NoC.
+        lazy = sec.batching and self.accountant.batchable(packet.kind) and not faulty
         verify = 0 if lazy else engine.mac_fast_path
         deliver_at = start + recv_grant.wait + engine.encrypt_fast_path + verify
+        if corrupted:
+            self.sim.schedule_at(
+                deliver_at,
+                lambda p=packet, c=counter: self._corruption_detected(p, c),
+            )
+            return
         self.sim.schedule_at(
             deliver_at,
             lambda p=packet, b=batch_ctx, c=counter: self._delivered(p, b, c),
@@ -276,6 +461,16 @@ class SecureTransport(_TransportBase):
 
     def _delivered(self, packet: Packet, batch_ctx, counter: int) -> None:
         now = self.sim.now
+        if self.fault_injector is not None and packet.kind.carries_data:
+            delivered = self._delivered_pids.setdefault((packet.src, packet.dst), set())
+            if packet.pid in delivered:
+                # A late original raced its own retransmit: identical
+                # content, different counter.  Deliver exactly once.
+                self.fault_stats.spurious_retransmits += 1
+                self.fault_stats.wasted_otps += 1  # the extra receive pad
+                self._note_fault(packet, "dup-content")
+                return
+            delivered.add(packet.pid)
         self._note_arrival(packet, now)
         sec = self.cfg.security
         src, dst = packet.src, packet.dst
@@ -316,11 +511,11 @@ class SecureTransport(_TransportBase):
         state = self._batch_arrivals[key]
         if state[1] is None or state[0] < state[1]:
             return
-        src, dst, _ = key
+        src, dst, batch_id = key
         del self._batch_arrivals[key]
         self.mac_storage[dst].release_batch(src, state[1])
         self.engines[dst].count_mac()  # the batched-MAC verification
-        self._send_ack(dst, src, retire=state[1])
+        self._send_ack(dst, src, retire=state[1], batch_id=batch_id)
 
     def _batch_timeout(self, src: int, dst: int, batch_id: int) -> None:
         closed = self.batchers[src].timeout_close(dst, batch_id)
@@ -359,10 +554,18 @@ class SecureTransport(_TransportBase):
     # ------------------------------------------------------------------
     # Replay-protection ACKs
     # ------------------------------------------------------------------
-    def _send_ack(self, from_node: int, to_node: int, retire: int, counter: int | None = None) -> None:
+    def _send_ack(
+        self,
+        from_node: int,
+        to_node: int,
+        retire: int,
+        counter: int | None = None,
+        batch_id: int | None = None,
+    ) -> None:
         if not self.cfg.security.count_metadata:
             # +SecureCommu mode: account the protocol without its bandwidth.
             self.guards[to_node].on_ack(from_node, counter, retire)
+            self._resolve_acked(to_node, from_node, counter, retire, batch_id)
             return
         ack = Packet(
             kind=PacketKind.SEC_ACK,
@@ -375,11 +578,174 @@ class SecureTransport(_TransportBase):
         self.acks_sent += 1
         self._note_send(ack, self.sim.now)
         arrival = self.topology.send(ack, self.sim.now)
-        self.sim.schedule_at(arrival, lambda a=ack, c=counter: self._ack_retire(a, c))
+        self.sim.schedule_at(
+            arrival, lambda a=ack, c=counter, b=batch_id: self._ack_retire(a, c, b)
+        )
 
-    def _ack_retire(self, ack: Packet, counter: int | None) -> None:
+    def _ack_retire(self, ack: Packet, counter: int | None, batch_id: int | None = None) -> None:
         # ack.dst is the original sender whose replay table retires entries
         self.guards[ack.dst].on_ack(ack.src, counter, retire=ack.txn_id)
+        self._resolve_acked(ack.dst, ack.src, counter, ack.txn_id, batch_id)
+
+    # ------------------------------------------------------------------
+    # Fault recovery: detection, NACK/timeout, retransmission
+    # ------------------------------------------------------------------
+    def _resolve_acked(
+        self,
+        sender: int,
+        receiver: int,
+        counter: int | None,
+        retire: int,
+        batch_id: int | None,
+    ) -> None:
+        """Settle retransmission state for blocks the receiver just ACKed."""
+        if self.fault_injector is None:
+            return
+        pair = self._pending.get((sender, receiver))
+        if not pair:
+            return
+        if batch_id is not None:
+            # Batches can complete out of order under faults (a dropped
+            # block stalls its batch while later ones finish), so batch
+            # ACKs settle by batch id, never by queue position.
+            pids = [
+                pid
+                for pid, p in pair.items()
+                if p.batch_ctx is not None and p.batch_ctx.batch_id == batch_id
+            ]
+        elif counter is not None:
+            pid = self._counter_owner.get((sender, receiver, counter))
+            pids = [pid] if pid is not None and pid in pair else []
+        else:
+            pids = list(pair)[:retire]
+        for pid in pids:
+            self._resolve_pending(sender, receiver, pid)
+
+    def _resolve_pending(self, sender: int, receiver: int, pid: int) -> None:
+        pair = self._pending.get((sender, receiver))
+        pending = pair.pop(pid, None) if pair else None
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        for ctr in pending.counters:
+            self._counter_owner.pop((sender, receiver, ctr), None)
+
+    def _arm_timer(self, pending: _PendingMessage) -> None:
+        if pending.timer is not None:
+            pending.timer.cancel()
+        src, dst = pending.packet.src, pending.packet.dst
+        pending.timer = self.sim.schedule(
+            pending.rto,
+            lambda s=src, d=dst, pid=pending.packet.pid: self._ack_timeout(s, d, pid),
+        )
+
+    def _ack_timeout(self, src: int, dst: int, pid: int) -> None:
+        pair = self._pending.get((src, dst))
+        pending = pair.get(pid) if pair else None
+        if pending is None:
+            return  # ACK won the race; this timer was lazily cancelled
+        stats = self.fault_stats
+        stats.timeouts_fired += 1
+        stats.backoff_cycles += pending.rto
+        self._note_fault(pending.packet, "timeout")
+        fault = self.cfg.fault
+        pending.rto = min(int(pending.rto * fault.backoff_factor), fault.backoff_max)
+        pending.timer = None
+        self._retransmit(pending, "timeout")
+
+    def _corruption_detected(self, packet: Packet, counter: int) -> None:
+        stats = self.fault_stats
+        stats.corruptions_detected += 1
+        stats.wasted_otps += 1  # the receive pad burned on a garbage block
+        self._note_fault(packet, "mac-reject")
+        self._send_nack(packet.dst, packet.src, counter)
+
+    def _send_nack(self, from_node: int, to_node: int, counter: int) -> None:
+        self.fault_stats.nacks_sent += 1
+        if not self.cfg.security.count_metadata:
+            # +SecureCommu mode: the NACK costs no bandwidth or latency.
+            self._recover(to_node, from_node, counter, "nack")
+            return
+        nack = Packet(
+            kind=PacketKind.SEC_NACK,
+            src=from_node,
+            dst=to_node,
+            size_bytes=self.accountant.ack_packet_size(),
+        )
+        nack.meta_bytes = nack.size_bytes
+        self._note_send(nack, self.sim.now)
+        arrival = self.topology.send(nack, self.sim.now)
+        self.sim.schedule_at(
+            arrival, lambda n=nack, c=counter: self._recover(n.dst, n.src, c, "nack")
+        )
+
+    def _recover(self, sender: int, receiver: int, counter: int, reason: str) -> None:
+        pid = self._counter_owner.get((sender, receiver, counter))
+        pair = self._pending.get((sender, receiver))
+        pending = pair.get(pid) if (pair and pid is not None) else None
+        if pending is None or pending.counter != counter:
+            return  # stale NACK: a retransmit already superseded this copy
+        self._retransmit(pending, reason)
+
+    def _retransmit(self, pending: _PendingMessage, reason: str) -> None:
+        fault = self.cfg.fault
+        packet = pending.packet
+        src, dst = packet.src, packet.dst
+        stats = self.fault_stats
+        if pending.attempts > fault.max_retries:
+            stats.link_failures += 1
+            self._note_fault(packet, "give-up")
+            self._resolve_pending(src, dst, packet.pid)
+            raise LinkFailureError(
+                src=src,
+                dst=dst,
+                pid=packet.pid,
+                counter=pending.counter,
+                attempts=pending.attempts,
+                first_sent=pending.first_sent,
+                gave_up_at=self.sim.now,
+                fault_stats=stats.as_dict(),
+            )
+        pending.attempts += 1
+        stats.retransmits += 1
+        stats.wasted_otps += 1  # the superseded copy's send pad
+        self._note_fault(packet, "retransmit")
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        # The old copy's ACK can never arrive; void its replay-guard entry
+        # so the FIFO freshness check stays aligned.
+        self.guards[src].retire_lost(dst, pending.counter)
+        # Re-run the send tail: a retransmission is a brand-new secured
+        # message — fresh pad, fresh counter, fresh MAC (a pad must never
+        # encrypt two wire copies).
+        now = self.sim.now
+        engine = self.engines[src]
+        demand = packet.kind is not PacketKind.MIGRATION_DATA
+        self.schemes[src].note_send(dst, now, demand=demand)
+        start = max(now, self._send_crypto_busy.get((src, dst), 0))
+        send_grant = self.schemes[src].acquire_send(dst, start, demand=demand)
+        self._send_crypto_busy[(src, dst)] = start + send_grant.grant.wait
+        counter = self._next_counter(src, dst)
+        pending.counter = counter
+        pending.counters.append(counter)
+        self._counter_owner[(src, dst, counter)] = packet.pid
+        self.guards[src].on_send(dst, counter)
+        engine.count_mac()
+        launch_at = (
+            start
+            + send_grant.grant.wait
+            + engine.mac_fast_path
+            + engine.encrypt_fast_path
+        )
+        self.sim.schedule_at(
+            launch_at,
+            lambda p=packet, s=send_grant.receiver_synced, b=pending.batch_ctx, c=counter: self._launch(
+                p, s, b, c
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Aggregated reporting

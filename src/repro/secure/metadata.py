@@ -48,6 +48,18 @@ class MetadataAccountant:
             meta += self.metadata.msg_mac_bytes
         return self._sized(meta)
 
+    def eager_block_mac_bytes(self) -> int:
+        """Per-block MsgMAC retained under fault-hardened batching.
+
+        Lazy batched verification trades detection latency for bandwidth —
+        acceptable on a clean channel, but an actively faulty link needs
+        corruption caught *before* the block leaves the verified window.
+        When fault injection is enabled the batched protocol therefore
+        keeps the per-block MsgMAC on the wire (batch ACKs and counter
+        compression still apply), and this is its cost.
+        """
+        return self._sized(self.metadata.msg_mac_bytes)
+
     def ack_packet_size(self) -> int:
         """Wire size of a replay-protection ACK (always >= 1 so the link
         model can serialize it even when metadata is not counted)."""

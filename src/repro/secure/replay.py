@@ -25,6 +25,7 @@ class ReplayGuard:
         self.max_outstanding = 0
         self.acked = 0
         self.violations = 0
+        self.dropped = 0  # entries retired as lost-in-flight, never ACKed
 
     def _pair(self, peer: int) -> deque:
         return self._outstanding.setdefault(peer, deque())
@@ -41,6 +42,14 @@ class ReplayGuard:
         When ``counter`` is given it must match the oldest entry (the FIFO
         freshness check); a mismatch is recorded as a violation and returns
         False.  Batched ACKs retire a whole batch at once.
+
+        A mismatched ACK whose counter *is* queued deeper means the entries
+        ahead of it were lost in flight (their ACKs will never come): the
+        guard resynchronizes by retiring through the matched entry with
+        dropped-message semantics.  Without that resync the stale head
+        would miscount every subsequent ACK for the peer as a violation.
+        A counter that was never sent (a forged or replayed ACK) leaves
+        the queue untouched.
         """
         queue = self._pair(peer)
         if len(queue) < retire:
@@ -48,10 +57,32 @@ class ReplayGuard:
             return False
         if counter is not None and queue[0] != counter:
             self.violations += 1
+            if counter in queue:
+                while queue:
+                    head = queue.popleft()
+                    if head == counter:
+                        self.acked += 1
+                        break
+                    self.dropped += 1
             return False
         for _ in range(retire):
             queue.popleft()
         self.acked += retire
+        return True
+
+    def retire_lost(self, peer: int, counter: int) -> bool:
+        """Void a specific entry known lost on the wire (pre-retransmit).
+
+        The secure channel calls this when it retransmits a block under a
+        fresh counter: the old copy's ACK can never arrive, so leaving its
+        entry queued would desynchronize the FIFO freshness check.
+        """
+        queue = self._pair(peer)
+        try:
+            queue.remove(counter)
+        except ValueError:
+            return False
+        self.dropped += 1
         return True
 
     def outstanding(self, peer: int | None = None) -> int:

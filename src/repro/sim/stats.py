@@ -161,6 +161,52 @@ class RatioStat:
             self.counts[key] = self.counts.get(key, 0) + val
 
 
+@dataclass
+class FaultStats:
+    """Ledger of injected link faults and the recovery work they caused.
+
+    Injection counters record what the :class:`~repro.interconnect.faults.
+    FaultInjector` did to the wire; recovery counters record what the
+    secure channel spent to survive it (the quantities
+    ``experiments.fig_fault_sweep`` surfaces per scheme).  The two
+    ``*_deliveries``/``lost_messages`` counters only ever move on the
+    *unsecure* fabric, which has no detection: they are the silent-data-
+    corruption cost the paper's protocol exists to eliminate.
+    """
+
+    # --- injected by the link ------------------------------------------
+    drops_injected: int = 0
+    corruptions_injected: int = 0
+    duplicates_injected: int = 0
+    delays_injected: int = 0
+    # --- detected / absorbed by the secure channel ---------------------
+    corruptions_detected: int = 0  # MsgMAC rejections before delivery
+    duplicates_discarded: int = 0  # wire replays rejected by counter check
+    spurious_retransmits: int = 0  # late originals raced their retransmit
+    # --- recovery work -------------------------------------------------
+    nacks_sent: int = 0
+    timeouts_fired: int = 0
+    retransmits: int = 0
+    backoff_cycles: int = 0  # cycles spent waiting on expired RTO timers
+    wasted_otps: int = 0  # pads burned on copies that never delivered
+    link_failures: int = 0  # retry budgets exhausted (LinkFailureError)
+    # --- silent damage on the unsecure fabric --------------------------
+    lost_messages: int = 0  # payloads lost in flight, nobody noticed
+    corrupted_deliveries: int = 0  # garbage blocks consumed by a device
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+    def merge(self, other: "FaultStats") -> None:
+        for name, value in other.__dict__.items():
+            setattr(self, name, getattr(self, name) + value)
+
+    @property
+    def undetected(self) -> int:
+        """Faults that reached a device without anyone noticing."""
+        return self.lost_messages + self.corrupted_deliveries
+
+
 class StatsRegistry:
     """A flat namespace of stats owned by one component."""
 
@@ -197,4 +243,11 @@ class StatsRegistry:
         return dict(self._stats)
 
 
-__all__ = ["Counter", "Histogram", "IntervalSeries", "RatioStat", "StatsRegistry"]
+__all__ = [
+    "Counter",
+    "Histogram",
+    "IntervalSeries",
+    "RatioStat",
+    "FaultStats",
+    "StatsRegistry",
+]

@@ -27,6 +27,7 @@ from repro.memory.migration import AccessCounterMigrationPolicy, MigrationCost
 from repro.memory.page_table import PageTable
 from repro.secure.channel import SecureTransport, build_transport
 from repro.sim.engine import Simulator
+from repro.sim.stats import FaultStats
 from repro.workloads.base import WorkloadTrace
 
 
@@ -67,6 +68,8 @@ class SimulationReport:
     burst32_fractions: list[float] = field(default_factory=list)
     timelines: dict = field(default_factory=dict)
     events_processed: int = 0
+    #: populated only when link-fault injection is enabled
+    fault_stats: FaultStats | None = None
 
     def slowdown_vs(self, baseline: "SimulationReport") -> float:
         """Normalized execution time (1.0 = the baseline's)."""
@@ -201,6 +204,8 @@ class MultiGpuSystem:
             report.otp_recv = OtpDistribution(**summary["recv"])
             report.acks_sent = self.transport.acks_sent
             report.batch_macs_sent = self.transport.batch_macs_sent
+        if self.transport.fault_stats is not None:
+            report.fault_stats = self.transport.fault_stats
         return report
 
 

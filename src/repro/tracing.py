@@ -20,6 +20,21 @@ from repro.system import MultiGpuSystem
 
 
 @dataclass(frozen=True)
+class FaultEvent:
+    """One fault-injection or recovery event on the fabric.
+
+    ``event`` is the transport's tag: injections (``drop``, ``corrupt``,
+    ``duplicate``, ``delay``), detections (``mac-reject``, ``dup-discard``,
+    ``dup-content``), and recovery actions (``timeout``, ``retransmit``,
+    ``give-up``).
+    """
+
+    pid: int
+    cycle: int
+    event: str
+
+
+@dataclass(frozen=True)
 class MessageRecord:
     """One message's lifetime on the fabric."""
 
@@ -43,6 +58,7 @@ class MessageTracer:
     def __init__(self) -> None:
         self._sent: dict[int, tuple[Packet, int]] = {}
         self.records: list[MessageRecord] = []
+        self.fault_events: list[FaultEvent] = []
 
     # ------------------------------------------------------------------
     # Attachment
@@ -55,6 +71,7 @@ class MessageTracer:
         transport._tracer = self
         original_send = transport._note_send
         original_arrival = transport._note_arrival
+        original_fault = transport._note_fault
 
         def note_send(packet, now):
             self._sent[packet.pid] = (packet, now)
@@ -66,8 +83,15 @@ class MessageTracer:
                 self._record(packet, sent[1], now)
             original_arrival(packet, now)
 
+        def note_fault(packet, event):
+            self.fault_events.append(
+                FaultEvent(pid=packet.pid, cycle=system.sim.now, event=event)
+            )
+            original_fault(packet, event)
+
         transport._note_send = note_send
         transport._note_arrival = note_arrival
+        transport._note_fault = note_fault
         return self
 
     def _record(self, packet: Packet, sent_at: int, delivered_at: int) -> None:
@@ -102,6 +126,13 @@ class MessageTracer:
     def total_bytes(self) -> int:
         return sum(r.size_bytes for r in self.records)
 
+    def fault_counts(self) -> dict[str, int]:
+        """Event-tag histogram of the recorded fault/recovery activity."""
+        counts: dict[str, int] = {}
+        for event in self.fault_events:
+            counts[event.event] = counts.get(event.event, 0) + 1
+        return counts
+
     # ------------------------------------------------------------------
     # Export / import
     # ------------------------------------------------------------------
@@ -129,4 +160,4 @@ def load_trace(path: str | Path) -> list[MessageRecord]:
     return records
 
 
-__all__ = ["MessageRecord", "MessageTracer", "load_trace"]
+__all__ = ["FaultEvent", "MessageRecord", "MessageTracer", "load_trace"]

@@ -36,6 +36,24 @@ class TestPlanAttacks:
         with pytest.raises(ValueError):
             plan_attacks([], tamper_rate=0.7, replay_rate=0.7)
 
+    def test_rate_zero_attacks_nothing(self):
+        log = [AuditEntry(1, 2, c, False, False, 0) for c in range(100)]
+        plan = plan_attacks(log, tamper_rate=0.0, replay_rate=0.0)
+        assert plan.total == 0
+        assert plan.tampered == plan.replayed == frozenset()
+
+    def test_rate_one_attacks_everything(self):
+        log = [AuditEntry(1, 2, c, False, False, 0) for c in range(100)]
+        all_tampered = plan_attacks(log, tamper_rate=1.0, replay_rate=0.0)
+        assert all_tampered.tampered == frozenset(range(100))
+        assert not all_tampered.replayed
+        all_replayed = plan_attacks(log, tamper_rate=0.0, replay_rate=1.0)
+        assert all_replayed.replayed == frozenset(range(100))
+
+    def test_empty_log_yields_empty_plan(self):
+        plan = plan_attacks([], tamper_rate=1.0, replay_rate=0.0)
+        assert plan.total == 0
+
 
 class TestAdversarialReplay:
     def test_conventional_tampers_all_detected(self):
@@ -73,6 +91,22 @@ class TestAdversarialReplay:
         report = adversarial_replay(log, AttackPlan(frozenset(), frozenset()))
         assert report.all_detected
         assert report.tampers_injected == report.replays_injected == 0
+
+    def test_empty_log_replays_cleanly(self):
+        report = adversarial_replay([], AttackPlan(frozenset(), frozenset()))
+        assert report.all_detected
+        assert report.messages == 0
+
+    def test_overlapping_tamper_and_replay_tamper_wins(self):
+        """A position claimed by both attack sets is handled as a tamper:
+        the flipped-bit copy is rejected at the MAC and the replay of that
+        position never happens (nothing clean was delivered to replay)."""
+        log = audited_log(scheme="private")
+        victims = frozenset(range(0, min(10, len(log))))
+        report = adversarial_replay(log, AttackPlan(tampered=victims, replayed=victims))
+        assert report.all_detected, report.clean_failures
+        assert report.tampers_injected == len(victims)
+        assert report.replays_injected == 0
 
 
 class TestBidirectionalBatches:

@@ -64,7 +64,14 @@ def test_batching_metadata_bounded_by_degenerate_overhead(seed, knobs):
     # header vs the per-message MAC it replaced
     slack = 4 * max(1, batched.batch_macs_sent)
     assert batched.meta_traffic_bytes <= conventional.meta_traffic_bytes + slack
-    if knobs["burst_length"] >= 8 and knobs["remote_fraction"] >= 0.3:
+    # Strict savings only when the trace actually produced remote traffic:
+    # a profile whose lanes all resolved locally has nothing to batch, and
+    # 0 < 0 would fail vacuously.
+    if (
+        knobs["burst_length"] >= 8
+        and knobs["remote_fraction"] >= 0.3
+        and conventional.meta_traffic_bytes > 0
+    ):
         assert batched.meta_traffic_bytes < conventional.meta_traffic_bytes
 
 

@@ -110,3 +110,41 @@ class TestReplayGuard:
         g.on_send(3, 0)
         assert g.outstanding(2) == 1
         assert g.outstanding() == 2
+
+    def test_mismatch_resynchronizes_through_lost_entries(self):
+        """Regression: a deep-queue ACK means the entries ahead of it were
+        lost in flight; the guard must retire through it instead of leaving
+        a stale head that miscounts every later ACK as a violation."""
+        g = ReplayGuard(1)
+        for c in (0, 1, 2):
+            g.on_send(2, c)
+        assert not g.on_ack(2, counter=1)  # counter 0 was lost
+        assert g.violations == 1
+        assert g.dropped == 1  # entry 0 retired with lost semantics
+        assert g.acked == 1  # entry 1 retired as acknowledged
+        assert g.outstanding(2) == 1  # only entry 2 remains
+        # the queue is resynchronized: the next ACK matches cleanly
+        assert g.on_ack(2, counter=2)
+        assert g.violations == 1
+
+    def test_forged_ack_leaves_queue_untouched(self):
+        g = ReplayGuard(1)
+        g.on_send(2, 5)
+        assert not g.on_ack(2, counter=99)  # never sent
+        assert g.violations == 1
+        assert g.dropped == 0
+        assert g.outstanding(2) == 1
+        assert g.on_ack(2, counter=5)  # real ACK still matches
+
+    def test_retire_lost_voids_a_specific_entry(self):
+        g = ReplayGuard(1)
+        for c in (0, 1, 2):
+            g.on_send(2, c)
+        assert g.retire_lost(2, 1)
+        assert g.dropped == 1
+        assert g.outstanding(2) == 2
+        assert not g.retire_lost(2, 1)  # already gone
+        # FIFO matching proceeds as if 1 was never queued
+        assert g.on_ack(2, counter=0)
+        assert g.on_ack(2, counter=2)
+        assert g.violations == 0

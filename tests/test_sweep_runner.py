@@ -224,3 +224,48 @@ class TestSweepMechanics:
         data = json.loads(path.read_text())
         assert data["describe"]["job"].startswith("fir/")
         assert report_from_dict(data["report"]).workload == "fir"
+
+
+def _hang_worker(payload):
+    """Stand-in worker that wedges its pool slot (see TestHungWorker)."""
+    import time as _time
+
+    _time.sleep(60.0)
+    raise AssertionError("hung worker was never terminated")
+
+
+class TestHungWorker:
+    def test_wedged_pool_is_recycled_and_cells_rescued_serially(self, monkeypatch):
+        """A worker that never returns must not hang the sweep: the runner
+        gives up after ``timeout`` seconds, stops waiting on the remaining
+        futures, kills the pool's processes, and re-runs every unharvested
+        cell serially in the parent."""
+        import multiprocessing
+        import time
+
+        import repro.runner.sweep as sweep_mod
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("monkeypatched worker needs fork start method")
+
+        monkeypatch.setattr(sweep_mod, "_worker", _hang_worker)
+        jobs = _grid()[:2]
+        expected = [report_to_dict(execute_job(job)) for job in jobs]
+
+        runner = SweepRunner(jobs=2, timeout=1.0)
+        start = time.monotonic()
+        reports = runner.run_jobs(jobs)
+        elapsed = time.monotonic() - start
+
+        # Nowhere near the worker's 60 s sleep: one timeout for the first
+        # future, the second skipped as wedged, then serial rescue.
+        assert elapsed < 30.0
+        assert [report_to_dict(r) for r in reports] == expected
+        assert runner.stats.fallbacks >= 1
+        assert runner.stats.parallel_runs == 0
+
+        # The wedged pool processes were terminated, not leaked.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
