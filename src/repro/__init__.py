@@ -32,6 +32,7 @@ from repro.configs import (
     scheme_config,
 )
 from repro.interconnect.faults import LinkFailureError
+from repro.obs import MetricsRegistry, Telemetry
 from repro.system import MultiGpuSystem, OtpDistribution, SimulationReport, run_workload
 from repro.workloads import (
     TraceBuilder,
@@ -42,10 +43,12 @@ from repro.workloads import (
     workloads_in_class,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FaultConfig",
+    "MetricsRegistry",
+    "Telemetry",
     "GpuConfig",
     "LinkConfig",
     "LinkFailureError",

@@ -5,6 +5,7 @@ Subcommands:
 * ``run``         — simulate one workload under one scheme
 * ``compare``     — one workload across all schemes, normalized table
 * ``experiment``  — regenerate a paper table/figure by name
+* ``metrics``     — dump/diff/tail/check metrics exports (``docs/OBSERVABILITY.md``)
 * ``list``        — list workloads and experiments
 """
 
@@ -63,6 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--gpus", type=int, default=4)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the run's metrics snapshot as JSONL to PATH",
+    )
     _add_runner_args(run_p)
 
     cmp_p = sub.add_parser("compare", help="one workload across all schemes")
@@ -85,6 +90,21 @@ def _build_parser() -> argparse.ArgumentParser:
     val_p.add_argument("--seed", type=int, default=1)
     val_p.add_argument("--scale", type=float, default=1.0)
     _add_runner_args(val_p)
+
+    met_p = sub.add_parser("metrics", help="inspect and validate metrics exports")
+    met_sub = met_p.add_subparsers(dest="metrics_command", required=True)
+    dump_p = met_sub.add_parser("dump", help="pretty-print a metrics export")
+    dump_p.add_argument("file")
+    diff_p = met_sub.add_parser("diff", help="compare two exports (exit 1 on differences)")
+    diff_p.add_argument("a")
+    diff_p.add_argument("b")
+    tail_p = met_sub.add_parser("tail", help="show the last N metrics of an export")
+    tail_p.add_argument("file")
+    tail_p.add_argument("-n", type=int, default=10, dest="count")
+    check_p = met_sub.add_parser(
+        "check", help="validate names/namespaces/payloads (exit 1 on violations)"
+    )
+    check_p.add_argument("file")
 
     sub.add_parser("list", help="list workloads and experiments")
     return parser
@@ -116,6 +136,11 @@ def _cmd_run(args) -> int:
         scale=args.scale,
     )
     report = _sweeper(args).run_jobs([job])[0]
+    if args.metrics:
+        from repro.obs import write_metrics_jsonl
+
+        count = write_metrics_jsonl(report.metrics, args.metrics)
+        print(f"wrote {count} metrics to {args.metrics}")
     print(f"workload           {spec.name} ({spec.suite}, {spec.rpki_class} RPKI)")
     print(f"scheme             {report.scheme}")
     print(f"execution cycles   {report.execution_cycles}")
@@ -197,6 +222,40 @@ def _cmd_validate(args) -> int:
     return 0 if all(v.passed for v in verdicts) else 1
 
 
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs import diff_metrics, metrics_to_jsonl, read_metrics, validate_metrics_file
+
+    if args.metrics_command == "dump":
+        metrics = read_metrics(args.file)
+        for name in sorted(metrics):
+            print(json.dumps({"name": name, **metrics[name]}, sort_keys=True))
+        return 0
+    if args.metrics_command == "diff":
+        differences = diff_metrics(read_metrics(args.a), read_metrics(args.b))
+        for line in differences:
+            print(line)
+        if not differences:
+            print("identical")
+        return 1 if differences else 0
+    if args.metrics_command == "tail":
+        lines = metrics_to_jsonl(read_metrics(args.file)).splitlines()
+        for line in lines[-max(args.count, 0):]:
+            print(line)
+        return 0
+    if args.metrics_command == "check":
+        errors = validate_metrics_file(args.file)
+        for error in errors:
+            print(error, file=sys.stderr)
+        if errors:
+            print(f"{args.file}: {len(errors)} violation(s)", file=sys.stderr)
+        else:
+            print(f"{args.file}: OK")
+        return 1 if errors else 0
+    raise AssertionError(f"unhandled metrics command {args.metrics_command}")
+
+
 def _cmd_list() -> int:
     print("Workloads (Table IV):")
     for spec in all_workloads():
@@ -216,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command}")

@@ -122,6 +122,9 @@ class DynamicOtpAllocator:
         self._recv_counts = {p: 0 for p in peers}
         self.interval_start = 0
         self.adjustments = 0
+        #: fully idle intervals skipped by :meth:`maybe_adjust`'s single
+        #: fold (surfaced as the ``alloc.idle_intervals`` metric)
+        self.idle_intervals = 0
 
     # ------------------------------------------------------------------
     # Monitoring phase
@@ -147,12 +150,28 @@ class DynamicOtpAllocator:
         return now >= self.interval_start + self.interval
 
     def maybe_adjust(self, now: int) -> AllocationPlan | None:
-        """Run the adjustment phase if the interval has elapsed."""
+        """Run the adjustment phase if at least one interval has elapsed.
+
+        When the sim skipped idle cycles and *several* intervals elapsed at
+        once, the pending counters are folded exactly **once** — this is
+        deliberate, not a shortcut.  Monitoring is tick-driven: every
+        ``record_send``/``record_recv`` is preceded by a tick at the same
+        cycle, so any counts pending at a boundary crossing were all
+        observed inside the first elapsed interval; every later elapsed
+        interval saw zero traffic, and zero-traffic intervals leave the
+        EWMAs untouched by design (module docstring) — iterating the decay
+        per empty interval would reproduce byte-identical weights at N×
+        the cost.  The fold therefore runs one :meth:`adjust`, tallies the
+        ``elapsed - 1`` skipped intervals in :attr:`idle_intervals` (the
+        ``alloc.idle_intervals`` metric), and jumps the interval origin to
+        the boundary containing ``now``.  Regression-tested with a
+        >2-interval gap in ``tests/test_core_contribution.py``.
+        """
         if not self.due(now):
             return None
-        plan = self.adjust()
-        # jump the interval origin forward to the boundary containing `now`
         elapsed = (now - self.interval_start) // self.interval
+        plan = self.adjust()
+        self.idle_intervals += elapsed - 1
         self.interval_start += elapsed * self.interval
         return plan
 

@@ -5,13 +5,21 @@
 configurations are simulated once — and writes each table to
 ``out_dir/<name>.txt`` plus a combined ``report.txt``.
 
+Each section runs inside a :meth:`~repro.obs.Telemetry.phase`, and the
+resulting wall-clock profile lands in ``out_dir/PROFILE.json`` — the
+cheapest way to see which figure dominates a full regeneration (see
+``docs/OBSERVABILITY.md``).
+
 Used by ``repro-sim experiment`` and by the EXPERIMENTS.md record.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
+
+from repro.obs import Telemetry
 
 from repro.experiments import (
     fig08_otp_sensitivity,
@@ -53,34 +61,38 @@ def generate_all(
     runner4 = ExperimentRunner(
         n_gpus=4, seed=seed, scale=scale, workloads=workloads, **exec_kwargs
     )
+    telemetry = Telemetry()
     sections: dict[str, str] = {}
 
-    def record(name: str, text: str) -> None:
+    def record(name: str, make) -> None:
+        with telemetry.phase(f"experiment.{name}"):
+            text = make()
         sections[name] = text
         (out_path / f"{name}.txt").write_text(text + "\n")
         if verbose:
-            print(f"[{time.strftime('%H:%M:%S')}] {name} done", flush=True)
+            seconds = telemetry.phase_seconds(f"experiment.{name}")
+            print(f"[{time.strftime('%H:%M:%S')}] {name} done ({seconds:.1f}s)", flush=True)
 
-    record("table1_storage", table1_storage.format_result(table1_storage.run()))
+    record("table1_storage", lambda: table1_storage.format_result(table1_storage.run()))
     record(
         "hw_overhead",
-        hw_overhead.format_result([hw_overhead.compute(4, m) for m in (1, 4, 16)]),
+        lambda: hw_overhead.format_result([hw_overhead.compute(4, m) for m in (1, 4, 16)]),
     )
     record(
         "fig15_16_burstiness",
-        "\n\n".join(
+        lambda: "\n\n".join(
             fig15_16_burstiness.format_result(fig15_16_burstiness.run(runner4), g)
             for g in (16, 32)
         ),
     )
-    record("fig13_14_timelines", fig13_14_timelines.format_result(fig13_14_timelines.run(runner4)))
-    record("fig08_otp_sensitivity", fig08_otp_sensitivity.format_result(fig08_otp_sensitivity.run(runner4)))
-    record("fig09_prior_schemes", fig09_prior_schemes.format_result(fig09_prior_schemes.run(runner4)))
-    record("fig11_overhead_breakdown", fig11_overhead_breakdown.format_result(fig11_overhead_breakdown.run(runner4)))
-    record("fig21_main_result", fig21_main_result.format_result(fig21_main_result.run(runner4)))
-    record("fig10_22_otp_distribution", fig10_otp_distribution.format_result(fig10_otp_distribution.run(runner4)))
-    record("fig12_23_traffic", fig12_traffic.format_result(fig12_traffic.run(runner4)))
-    record("fig26_aes_latency", fig26_aes_latency.format_result(fig26_aes_latency.run(runner4)))
+    record("fig13_14_timelines", lambda: fig13_14_timelines.format_result(fig13_14_timelines.run(runner4)))
+    record("fig08_otp_sensitivity", lambda: fig08_otp_sensitivity.format_result(fig08_otp_sensitivity.run(runner4)))
+    record("fig09_prior_schemes", lambda: fig09_prior_schemes.format_result(fig09_prior_schemes.run(runner4)))
+    record("fig11_overhead_breakdown", lambda: fig11_overhead_breakdown.format_result(fig11_overhead_breakdown.run(runner4)))
+    record("fig21_main_result", lambda: fig21_main_result.format_result(fig21_main_result.run(runner4)))
+    record("fig10_22_otp_distribution", lambda: fig10_otp_distribution.format_result(fig10_otp_distribution.run(runner4)))
+    record("fig12_23_traffic", lambda: fig12_traffic.format_result(fig12_traffic.run(runner4)))
+    record("fig26_aes_latency", lambda: fig26_aes_latency.format_result(fig26_aes_latency.run(runner4)))
 
     if include_scaling:
         for n in (8, 16):
@@ -89,11 +101,16 @@ def generate_all(
             )
             record(
                 f"fig{24 if n == 8 else 25}_scaling_{n}gpus",
-                fig24_25_scaling.format_result(fig24_25_scaling.run(n, runner)),
+                lambda n=n, runner=runner: fig24_25_scaling.format_result(
+                    fig24_25_scaling.run(n, runner)
+                ),
             )
 
     combined = "\n\n\n".join(sections[k] for k in sections)
     (out_path / "report.txt").write_text(combined + "\n")
+    (out_path / "PROFILE.json").write_text(
+        json.dumps(telemetry.profile_snapshot(), indent=2, sort_keys=True) + "\n"
+    )
     return sections
 
 

@@ -25,7 +25,8 @@ from dataclasses import asdict, dataclass
 
 import repro
 from repro.configs import SystemConfig
-from repro.system import SimulationReport, run_workload
+from repro.obs import Telemetry
+from repro.system import MultiGpuSystem, SimulationReport
 from repro.workloads import get_workload
 from repro.workloads.registry import WorkloadSpec
 
@@ -97,11 +98,20 @@ def job_key(job: SweepJob) -> str | None:
 
 
 def execute_job(job: SweepJob) -> SimulationReport:
-    """Run one cell: generate the trace and simulate it.  Pure & deterministic."""
-    trace = job.spec.generate(
-        n_gpus=job.config.n_gpus, seed=job.seed, scale=job.scale, n_lanes=job.n_lanes
-    )
-    return run_workload(job.config, trace)
+    """Run one cell: generate the trace and simulate it.  Pure & deterministic.
+
+    One run-scoped :class:`~repro.obs.Telemetry` spans the whole cell, so
+    the wall-clock profile covers trace generation as well as the system's
+    build/simulate/report phases.  Only the deterministic metrics snapshot
+    lands on the report; the profile stays in-process (see
+    ``docs/OBSERVABILITY.md``).
+    """
+    telemetry = Telemetry()
+    with telemetry.phase("trace.generate"):
+        trace = job.spec.generate(
+            n_gpus=job.config.n_gpus, seed=job.seed, scale=job.scale, n_lanes=job.n_lanes
+        )
+    return MultiGpuSystem(job.config, telemetry=telemetry).run(trace)
 
 
 __all__ = ["SweepJob", "execute_job", "job_key", "cache_salt", "is_registry_spec", "KEY_SCHEMA"]

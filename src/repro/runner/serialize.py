@@ -17,7 +17,8 @@ from repro.sim.stats import FaultStats, IntervalSeries
 from repro.system import OtpDistribution, SimulationReport
 
 #: Bump when the report layout changes; stale cache entries stop matching.
-REPORT_SCHEMA = 1
+#: v2: reports carry the uniform-namespace telemetry snapshot (``metrics``).
+REPORT_SCHEMA = 2
 
 
 def series_to_dict(series: IntervalSeries) -> dict[str, Any]:
@@ -66,6 +67,9 @@ def report_to_dict(report: SimulationReport) -> dict[str, Any]:
         "burst32_fractions": list(report.burst32_fractions),
         "timelines": {str(node): series_to_dict(s) for node, s in report.timelines.items()},
         "events_processed": report.events_processed,
+        # Already JSON-safe by construction (MetricsRegistry.snapshot), so
+        # the cache and the pool boundary round-trip it bit-identically.
+        "metrics": report.metrics,
     }
     # Optional key, present only under fault injection: fault-free reports
     # stay byte-identical to the pre-fault layout (and to schema 1 readers).
@@ -98,6 +102,7 @@ def report_from_dict(data: dict[str, Any]) -> SimulationReport:
         timelines={int(node): series_from_dict(s) for node, s in data["timelines"].items()},
         events_processed=data["events_processed"],
         fault_stats=FaultStats(**data["fault_stats"]) if "fault_stats" in data else None,
+        metrics=data["metrics"],
     )
 
 

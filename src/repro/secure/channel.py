@@ -33,6 +33,7 @@ from repro.core.batching import BatchingController, MsgMacStorage
 from repro.interconnect.faults import FaultInjector, FaultVerdict, LinkFailureError
 from repro.interconnect.packet import Packet, PacketKind
 from repro.interconnect.topology import Topology
+from repro.obs import Telemetry
 from repro.secure.engine import AesGcmEngineModel
 from repro.secure.metadata import MetadataAccountant
 from repro.secure.replay import ReplayGuard
@@ -76,10 +77,19 @@ class _PendingMessage:
 class _TransportBase:
     """Delivery registry plus the measurement instrumentation."""
 
-    def __init__(self, sim: Simulator, topology: Topology, cfg: SystemConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        cfg: SystemConfig,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.sim = sim
         self.topology = topology
         self.cfg = cfg
+        #: run-scoped metric sink; the owning system passes its own so the
+        #: transport's ``fault.*`` counters land in the run's namespace
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._handlers: dict[int, DeliveryHandler] = {}
         self.timelines: dict[int, IntervalSeries] = {
             node: IntervalSeries(f"node{node}", cfg.timeline_interval)
@@ -113,7 +123,13 @@ class _TransportBase:
     # Instrumentation
     # ------------------------------------------------------------------
     def _note_fault(self, packet: Packet, event: str) -> None:
-        """Observation hook for fault/recovery events (wrapped by tracers)."""
+        """Observation hook for fault/recovery events (wrapped by tracers).
+
+        Only ever invoked under active fault injection, so a rate-0 run
+        creates no ``fault.*`` metrics at all — absence of the namespace is
+        the telemetry-level statement that the link stayed clean.
+        """
+        self.telemetry.counter(f"fault.{event.replace('-', '_')}").add()
 
     def _note_send(self, packet: Packet, now: int) -> None:
         self.messages_sent += 1
@@ -201,8 +217,14 @@ class UnsecureTransport(_TransportBase):
 class SecureTransport(_TransportBase):
     """Authenticated-encrypted fabric with OTP buffers and metadata."""
 
-    def __init__(self, sim: Simulator, topology: Topology, cfg: SystemConfig) -> None:
-        super().__init__(sim, topology, cfg)
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        cfg: SystemConfig,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        super().__init__(sim, topology, cfg, telemetry)
         sec = cfg.security
         if sec.scheme == "unsecure":
             raise ValueError("SecureTransport requires a managed scheme")
@@ -769,11 +791,16 @@ class SecureTransport(_TransportBase):
         return {"send": fractions(send), "recv": fractions(recv)}
 
 
-def build_transport(sim: Simulator, topology: Topology, cfg: SystemConfig):
+def build_transport(
+    sim: Simulator,
+    topology: Topology,
+    cfg: SystemConfig,
+    telemetry: Telemetry | None = None,
+):
     """Pick the transport matching ``cfg.security.scheme``."""
     if cfg.security.scheme == "unsecure":
-        return UnsecureTransport(sim, topology, cfg)
-    return SecureTransport(sim, topology, cfg)
+        return UnsecureTransport(sim, topology, cfg, telemetry)
+    return SecureTransport(sim, topology, cfg, telemetry)
 
 
 __all__ = ["UnsecureTransport", "SecureTransport", "build_transport", "BURST_EDGES"]

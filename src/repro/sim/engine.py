@@ -59,14 +59,23 @@ class EventQueue:
     are almost always rescheduled) never pays for them more than once.
     """
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "cancelled_dropped")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Event]] = []
         self._seq = 0
+        #: cancelled entries lazily discarded so far (pop, peek, run loop) —
+        #: with ``pushes`` and the simulator's ``events_processed`` this is
+        #: the engine's push/pop/cancel profile the telemetry layer exports.
+        self.cancelled_dropped = 0
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def pushes(self) -> int:
+        """Total events ever scheduled on this queue."""
+        return self._seq
 
     def live_events(self) -> int:
         """Number of non-cancelled entries (O(n); for tests/diagnostics)."""
@@ -89,7 +98,9 @@ class EventQueue:
                 # so the next pop/peek starts from a live event.
                 while heap and heap[0][2].cancelled:
                     heappop(heap)
+                    self.cancelled_dropped += 1
                 return event
+            self.cancelled_dropped += 1
         return None
 
     def peek_time(self) -> int | None:
@@ -97,6 +108,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heappop(heap)
+            self.cancelled_dropped += 1
         if heap:
             return heap[0][0]
         return None
@@ -154,6 +166,7 @@ class Simulator:
         max_cycles = self.max_cycles
         max_events = self.max_events
         processed = self.events_processed
+        cancelled = 0
         self._running = True
         try:
             while heap:
@@ -161,6 +174,7 @@ class Simulator:
                     break
                 time, _seq, event = pop(heap)
                 if event.cancelled:
+                    cancelled += 1
                     continue
                 if max_cycles is not None and time > max_cycles:
                     break
@@ -173,6 +187,7 @@ class Simulator:
                 event.callback()
         finally:
             self.events_processed = processed
+            self.queue.cancelled_dropped += cancelled
             self._running = False
         for hook in self._end_hooks:
             hook()

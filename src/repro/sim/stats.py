@@ -39,6 +39,22 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Gauge:
+    """A named last-write-wins measurement (a derived rate, a final level)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
 class Histogram:
     """Histogram over explicit bin edges.
 
@@ -71,7 +87,13 @@ class Histogram:
         return [c / self.total for c in self.counts]
 
     def bin_labels(self) -> list[str]:
-        labels = [f"[0, {self.edges[0]})"] if self.edges else ["all"]
+        """Labels matching :meth:`record`'s binning exactly.
+
+        ``bisect_right`` routes every value below ``edges[0]`` — negative
+        samples included — into the first bin, so its label is
+        ``[-inf, edges[0])``, not ``[0, edges[0])``.
+        """
+        labels = [f"[-inf, {self.edges[0]})"] if self.edges else ["all"]
         for lo, hi in zip(self.edges, self.edges[1:]):
             labels.append(f"[{lo}, {hi})")
         if self.edges:
@@ -245,6 +267,7 @@ class StatsRegistry:
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "IntervalSeries",
     "RatioStat",

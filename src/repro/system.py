@@ -24,6 +24,7 @@ from repro.gpu.cpu import HostCpu
 from repro.gpu.gpu import GpuDevice
 from repro.interconnect.topology import CPU_NODE, Topology
 from repro.memory.migration import AccessCounterMigrationPolicy, MigrationCost
+from repro.obs import Telemetry
 from repro.memory.page_table import PageTable
 from repro.secure.channel import SecureTransport, build_transport
 from repro.sim.engine import Simulator
@@ -70,6 +71,10 @@ class SimulationReport:
     events_processed: int = 0
     #: populated only when link-fault injection is enabled
     fault_stats: FaultStats | None = None
+    #: uniform-namespace telemetry snapshot (see ``docs/OBSERVABILITY.md``):
+    #: a JSON-safe dict of ``{"otp.send": {...}, "meta.bytes": {...}, ...}``
+    #: harvested from the run's :class:`~repro.obs.Telemetry` at report time
+    metrics: dict = field(default_factory=dict)
 
     def slowdown_vs(self, baseline: "SimulationReport") -> float:
         """Normalized execution time (1.0 = the baseline's)."""
@@ -86,8 +91,12 @@ class SimulationReport:
 class MultiGpuSystem:
     """Builds and runs one simulated machine for one workload."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, telemetry: Telemetry | None = None) -> None:
         self.config = config
+        #: run-scoped observability context; callers that pre-time phases
+        #: (e.g. trace generation in ``execute_job``) pass their own so one
+        #: object carries the whole cell's metrics and profile
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.sim = Simulator()
         self.topology = Topology(
             n_gpus=config.n_gpus,
@@ -98,7 +107,7 @@ class MultiGpuSystem:
             fabric=config.link.fabric,
             switch_factor=config.link.switch_factor,
         )
-        self.transport = build_transport(self.sim, self.topology, config)
+        self.transport = build_transport(self.sim, self.topology, config, self.telemetry)
         self.cpu: HostCpu | None = None
         self.gpus: dict[int, GpuDevice] = {}
         self.page_table: PageTable | None = None
@@ -152,12 +161,15 @@ class MultiGpuSystem:
         if self._ran:
             raise RuntimeError("a MultiGpuSystem instance runs exactly one workload")
         self._ran = True
-        trace.validate()
-        self._build_devices(trace)
-        for gpu in self.gpus.values():
-            gpu.start()
-        self.sim.run()
-        return self._report(trace)
+        with self.telemetry.phase("system.build"):
+            trace.validate()
+            self._build_devices(trace)
+            for gpu in self.gpus.values():
+                gpu.start()
+        with self.telemetry.phase("system.simulate"):
+            self.sim.run()
+        with self.telemetry.phase("system.report"):
+            return self._report(trace)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -206,12 +218,67 @@ class MultiGpuSystem:
             report.batch_macs_sent = self.transport.batch_macs_sent
         if self.transport.fault_stats is not None:
             report.fault_stats = self.transport.fault_stats
+        self._harvest_metrics(report)
         return report
 
+    def _harvest_metrics(self, report: SimulationReport) -> None:
+        """Fold the run's measurements into the uniform metric namespace.
 
-def run_workload(config: SystemConfig, trace: WorkloadTrace) -> SimulationReport:
+        Every scheme — unsecure included — emits the same core
+        (``run.* traffic.* meta.* msg.* engine.* burst.*``); secure schemes
+        add ``otp.*``/``ack.*``/``batch.*``, the dynamic allocator adds
+        ``alloc.*``, and live ``fault.*`` counters were already recorded by
+        the transport during the run.  The resulting snapshot is a pure
+        function of the job description, so it survives the result cache
+        and the process-pool boundary bit-identically.
+        """
+        m = self.telemetry.metrics
+        m.counter("run.cycles").add(report.execution_cycles)
+        m.counter("run.remote_requests").add(report.remote_requests)
+        m.counter("run.migrations").add(report.migrations)
+        m.gauge("run.rpki").set(report.rpki)
+        m.counter("traffic.bytes").add(report.traffic_bytes)
+        m.counter("traffic.base_bytes").add(report.base_traffic_bytes)
+        m.counter("meta.bytes").add(report.meta_traffic_bytes)
+        m.counter("msg.sent").add(self.transport.messages_sent)
+        m.counter("msg.data_blocks").add(self.transport.data_blocks)
+        m.counter("engine.events").add(report.events_processed)
+        m.counter("engine.pushes").add(self.sim.queue.pushes)
+        m.counter("engine.cancelled").add(self.sim.queue.cancelled_dropped)
+        m.register("burst.accum16", self.transport.burst16)
+        m.register("burst.accum32", self.transport.burst32)
+        if isinstance(self.transport, SecureTransport):
+            send, recv = m.ratio("otp.send"), m.ratio("otp.recv")
+            for scheme in self.transport.schemes.values():
+                send.merge(scheme.send_outcomes)
+                recv.merge(scheme.recv_outcomes)
+            m.counter("ack.sent").add(self.transport.acks_sent)
+            m.counter("batch.macs_sent").add(self.transport.batch_macs_sent)
+            allocators = [
+                s.allocator
+                for s in self.transport.schemes.values()
+                if hasattr(s, "allocator")
+            ]
+            if allocators:
+                m.counter("alloc.adjustments").add(sum(a.adjustments for a in allocators))
+                m.counter("alloc.idle_intervals").add(
+                    sum(a.idle_intervals for a in allocators)
+                )
+                m.counter("alloc.plans_applied").add(
+                    sum(
+                        s.plans_applied
+                        for s in self.transport.schemes.values()
+                        if hasattr(s, "plans_applied")
+                    )
+                )
+        report.metrics = self.telemetry.snapshot()
+
+
+def run_workload(
+    config: SystemConfig, trace: WorkloadTrace, telemetry: Telemetry | None = None
+) -> SimulationReport:
     """One-shot convenience wrapper."""
-    return MultiGpuSystem(config).run(trace)
+    return MultiGpuSystem(config, telemetry=telemetry).run(trace)
 
 
 __all__ = ["MultiGpuSystem", "SimulationReport", "OtpDistribution", "run_workload"]

@@ -117,6 +117,51 @@ class TestDynamicAllocator:
         alloc = self._alloc()
         alloc.maybe_adjust(now=5500)
         assert alloc.interval_start == 5000
+        assert alloc.idle_intervals == 4
+
+    def test_multi_interval_gap_folds_counts_exactly_once(self):
+        # Monitoring is tick-driven, so counts pending across a >2-interval
+        # gap all belong to the first elapsed interval; the gap's empty
+        # intervals must not decay the EWMAs (they saw no traffic).
+        alloc = DynamicOtpAllocator([2, 3], total_pool=8, alpha=0.9, interval=1000)
+        for _ in range(60):
+            alloc.record_send(2)
+        for _ in range(40):
+            alloc.record_recv(3)
+        plan = alloc.maybe_adjust(now=3500)  # 3 intervals elapsed at once
+        assert plan is not None
+        assert alloc.adjustments == 1
+        # exactly one Formula-1 fold: S_1 = 0.1*0.5 + 0.9*0.6
+        assert alloc.send_weight.value == pytest.approx(0.1 * 0.5 + 0.9 * 0.6)
+        assert alloc.interval_start == 3000
+        assert alloc.idle_intervals == 2
+        assert alloc.interval_send_total == 0  # counters reset by the fold
+
+    def test_gap_fold_matches_per_interval_iteration(self):
+        # The single fold must be byte-identical to naively adjusting once
+        # per elapsed interval (empty intervals leave the EWMAs untouched).
+        def load(alloc):
+            for _ in range(60):
+                alloc.record_send(2)
+            for _ in range(40):
+                alloc.record_recv(3)
+
+        folded = DynamicOtpAllocator([2, 3], total_pool=8, interval=1000)
+        load(folded)
+        folded.maybe_adjust(now=4500)
+
+        stepped = DynamicOtpAllocator([2, 3], total_pool=8, interval=1000)
+        load(stepped)
+        for now in (1000, 2000, 3000, 4000):
+            stepped.maybe_adjust(now=now)
+
+        assert folded.send_weight.value == stepped.send_weight.value
+        assert {p: w.value for p, w in folded.send_peer_weight.items()} == {
+            p: w.value for p, w in stepped.send_peer_weight.items()
+        }
+        assert {p: w.value for p, w in folded.recv_peer_weight.items()} == {
+            p: w.value for p, w in stepped.recv_peer_weight.items()
+        }
 
     def test_paper_formula_1(self):
         # One interval with SReq=75, RReq=25 from S_0=0.5, alpha=0.9:

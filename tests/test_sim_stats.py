@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.stats import Counter, Histogram, IntervalSeries, RatioStat, StatsRegistry
+from repro.sim.stats import Counter, Gauge, Histogram, IntervalSeries, RatioStat, StatsRegistry
 
 
 def test_counter_add_and_reset():
@@ -12,6 +12,14 @@ def test_counter_add_and_reset():
     assert c.value == 42
     c.reset()
     assert c.value == 0
+
+
+def test_gauge_set_overwrites():
+    g = Gauge("rpki")
+    assert g.value == 0.0
+    g.set(1.5)
+    g.set(0.25)
+    assert g.value == 0.25
 
 
 def test_histogram_binning_matches_paper_edges():
@@ -35,7 +43,17 @@ def test_histogram_fractions_sum_to_one():
 
 def test_histogram_labels():
     h = Histogram("h", edges=[40, 160])
-    assert h.bin_labels() == ["[0, 40)", "[40, 160)", "[160, inf)"]
+    assert h.bin_labels() == ["[-inf, 40)", "[40, 160)", "[160, inf)"]
+
+
+def test_histogram_underflow_bin_catches_negatives():
+    # bisect_right sends anything below edges[0] — negatives included —
+    # to bin 0, so its label must read [-inf, ...), not [0, ...).
+    h = Histogram("h", edges=[40, 160])
+    for v in (-5, 0, 39):
+        h.record(v)
+    assert h.counts == [3, 0, 0]
+    assert h.bin_labels()[0] == "[-inf, 40)"
 
 
 def test_histogram_rejects_unsorted_edges():

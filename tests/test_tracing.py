@@ -56,6 +56,12 @@ class TestCapture:
         with pytest.raises(RuntimeError):
             MessageTracer().attach(system)
 
+    def test_no_pending_sends_after_clean_run(self, traced):
+        # Housekeeping (ACK/NACK/batch-MAC) never reaches the arrival hook,
+        # so tracking it would leak one _sent entry per ACK.
+        tracer, _ = traced
+        assert tracer._sent == {}
+
     def test_tracing_does_not_change_timing(self):
         def run(with_tracer):
             system = MultiGpuSystem(scheme_config("private"))
@@ -66,6 +72,97 @@ class TestCapture:
             ).execution_cycles
 
         assert run(True) == run(False)
+
+
+class TestDetach:
+    def test_detach_restores_hooks_and_releases(self):
+        system = MultiGpuSystem(scheme_config("unsecure"))
+        transport = system.transport
+        original_send = transport._note_send
+        original_arrival = transport._note_arrival
+        original_fault = transport._note_fault
+        tracer = MessageTracer().attach(system)
+        assert transport._note_send != original_send
+        tracer.detach()
+        # bound methods compare equal when instance and function match
+        assert transport._note_send == original_send
+        assert transport._note_arrival == original_arrival
+        assert transport._note_fault == original_fault
+        assert transport._tracer is None
+
+    def test_detach_without_attach_raises(self):
+        with pytest.raises(RuntimeError):
+            MessageTracer().detach()
+        system = MultiGpuSystem(scheme_config("unsecure"))
+        tracer = MessageTracer().attach(system)
+        tracer.detach()
+        with pytest.raises(RuntimeError):
+            tracer.detach()
+
+    def test_attached_tracer_cannot_grab_second_transport(self):
+        tracer = MessageTracer().attach(MultiGpuSystem(scheme_config("unsecure")))
+        with pytest.raises(RuntimeError):
+            tracer.attach(MultiGpuSystem(scheme_config("unsecure")))
+
+    def test_reattach_after_detach_records_again(self):
+        config = scheme_config("private")
+        trace = get_workload("fir").generate(4, seed=1, scale=0.08)
+        system = MultiGpuSystem(config)
+        tracer = MessageTracer().attach(system)
+        tracer.detach()
+        second = MessageTracer().attach(system)
+        system.run(trace)
+        assert not tracer.records  # detached before the run saw traffic
+        assert second.records
+
+    def test_detached_run_timing_unchanged(self):
+        def run(detached_tracer):
+            system = MultiGpuSystem(scheme_config("private"))
+            if detached_tracer:
+                MessageTracer().attach(system).detach()
+            trace = get_workload("fir").generate(4, seed=1, scale=0.08)
+            return system.run(trace).execution_cycles
+
+        assert run(True) == run(False)
+
+
+class TestFaultEviction:
+    """A fault-injected run must leave the pending-send table empty."""
+
+    def _faulty_run(self, scheme, **rates):
+        config = scheme_config(scheme).with_fault(seed=7, **rates)
+        system = MultiGpuSystem(config)
+        tracer = MessageTracer().attach(system)
+        system.run(get_workload("fir").generate(4, seed=1, scale=0.1))
+        return tracer
+
+    def test_drop_heavy_run_leaves_no_pending_sends(self):
+        tracer = self._faulty_run("private", drop_rate=0.05, corrupt_rate=0.05)
+        counts = tracer.fault_counts()
+        assert counts.get("drop", 0) > 0  # the scenario actually exercised drops
+        assert tracer.records
+        assert tracer._sent == {}
+
+    def test_all_fault_kinds_leave_no_pending_sends(self):
+        tracer = self._faulty_run(
+            "batching",
+            drop_rate=0.02,
+            corrupt_rate=0.02,
+            duplicate_rate=0.005,
+            delay_rate=0.005,
+        )
+        assert tracer.records
+        assert tracer._sent == {}
+
+    def test_dropped_then_retransmitted_block_still_recorded(self):
+        tracer = self._faulty_run("private", drop_rate=0.05)
+        dropped = {e.pid for e in tracer.fault_events if e.event == "drop"}
+        assert dropped
+        recorded = {r.pid for r in tracer.records}
+        given_up = {e.pid for e in tracer.fault_events if e.event == "give-up"}
+        # every dropped block either made it after retransmission or was
+        # reported as given up — none vanish from the trace bookkeeping
+        assert dropped <= (recorded | given_up)
 
 
 class TestExport:
