@@ -21,6 +21,7 @@ SCHEMES = ("unsecure", "private", "shared", "cached", "dynamic", "batching", "id
 
 EXPERIMENTS = {
     "table1": ("repro.experiments.table1_storage", {}),
+    "collectives": ("repro.experiments.fig_collectives", {"needs_runner": True}),
     "fig8": ("repro.experiments.fig08_otp_sensitivity", {"needs_runner": True}),
     "fig9": ("repro.experiments.fig09_prior_schemes", {"needs_runner": True}),
     "fig10": ("repro.experiments.fig10_otp_distribution", {"needs_runner": True}),
@@ -206,7 +207,16 @@ def _cmd_experiment(args) -> int:
         result = module.run(runner)
     else:
         result = module.run()
-    print(module.format_result(result))
+    text = module.format_result(result)
+    print(text)
+    # Archive the table next to the benchmark outputs so a CLI regeneration
+    # leaves the same artifact a `pytest benchmarks/` run would.
+    from pathlib import Path
+
+    out = Path("results") / f"{args.name}.txt"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + "\n")
+    print(f"\n[written to {out}]")
     return 0
 
 
@@ -257,9 +267,14 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_list() -> int:
+    from repro.workloads import all_collectives
+
     print("Workloads (Table IV):")
     for spec in all_workloads():
         print(f"  {spec.abbr:7s} {spec.name:22s} {spec.suite:12s} {spec.rpki_class} RPKI")
+    print("\nCollectives (docs/WORKLOADS.md):")
+    for spec in all_collectives():
+        print(f"  {spec.abbr:7s} {spec.name:22s} {spec.suite:12s} {spec.rpki_class}")
     print("\nExperiments:", ", ".join(sorted(EXPERIMENTS)))
     print("Schemes:", ", ".join(SCHEMES))
     return 0

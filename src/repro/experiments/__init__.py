@@ -19,7 +19,14 @@ Fig 21    ``fig21_main_result``      the headline comparison
 Fig 24/25 ``fig24_25_scaling``       8- and 16-GPU systems
 Fig 26    ``fig26_aes_latency``      AES-GCM latency sweep
 §IV-D     ``hw_overhead``            hardware cost accounting
+—         ``fig_fault_sweep``        unreliable-link recovery sweep
+—         ``fig_collectives``        schemes × NCCL-style collectives
 ========  ====================================================
+
+The last two are reproduction extensions, not paper figures: the fault
+sweep prices detect-and-recover on an unreliable fabric
+(``docs/ROBUSTNESS.md``), the collectives sweep prices the schemes on
+production collective-communication traffic (``docs/WORKLOADS.md``).
 """
 
 from repro.experiments.common import ExperimentRunner, WorkloadResult, geometric_mean

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig21_main_result,
     fig24_25_scaling,
     fig26_aes_latency,
+    fig_collectives,
     hw_overhead,
     table1_storage,
 )
@@ -93,6 +94,13 @@ def generate_all(
     record("fig10_22_otp_distribution", lambda: fig10_otp_distribution.format_result(fig10_otp_distribution.run(runner4)))
     record("fig12_23_traffic", lambda: fig12_traffic.format_result(fig12_traffic.run(runner4)))
     record("fig26_aes_latency", lambda: fig26_aes_latency.format_result(fig26_aes_latency.run(runner4)))
+    if workloads is None:
+        # The collectives sweep has its own workload set (the `collective`
+        # registry class), so a restricted Table IV list skips it.
+        record(
+            "fig_collectives",
+            lambda: fig_collectives.format_result(fig_collectives.run(runner4)),
+        )
 
     if include_scaling:
         for n in (8, 16):

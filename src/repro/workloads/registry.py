@@ -1,9 +1,11 @@
-"""Workload registry: the 17 benchmarks of Table IV.
+"""Workload registry: the 17 benchmarks of Table IV plus the collectives.
 
-Each entry binds the paper's workload (name, abbreviation, suite, RPKI
-class) to its trace generator.  Experiments iterate ``all_workloads()`` in
-the paper's presentation order; anything that needs one workload looks it
-up by name or abbreviation via ``get_workload``.
+Each entry binds a workload (name, abbreviation, suite, RPKI class) to its
+trace generator.  Experiments iterate ``all_workloads()`` — the Table IV
+set, in the paper's presentation order — or ``all_collectives()`` — the
+NCCL-style collective-communication suite (``rpki_class == "collective"``,
+see ``docs/WORKLOADS.md``); anything that needs one workload looks it up
+by name or abbreviation via ``get_workload``, which spans both sets.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.workloads.base import WorkloadTrace
-from repro.workloads.suites import amdappsdk, dnnmark, heteromark, polybench, shoc
+from repro.workloads.suites import amdappsdk, dnnmark, heteromark, nccl, polybench, shoc
 
 Builder = Callable[..., WorkloadTrace]
 
@@ -57,8 +59,20 @@ _SPECS = [
     WorkloadSpec("fir", "fir", "Hetero-Mark", "low", heteromark.fir),
 ]
 
-_BY_NAME = {spec.name: spec for spec in _SPECS}
-_BY_ABBR = {spec.abbr: spec for spec in _SPECS}
+#: The collective-communication suite (not part of Table IV): NCCL-style
+#: traffic patterns whose per-peer, per-direction phase structure the
+#: kernel workloads above never produce.  See ``docs/WORKLOADS.md``.
+_COLLECTIVE_SPECS = [
+    WorkloadSpec("allreduce_ring", "arr", "NCCL", "collective", nccl.allreduce_ring),
+    WorkloadSpec("allreduce_tree", "art", "NCCL", "collective", nccl.allreduce_tree),
+    WorkloadSpec("allgather", "ag", "NCCL", "collective", nccl.allgather),
+    WorkloadSpec("reducescatter", "rs", "NCCL", "collective", nccl.reducescatter),
+    WorkloadSpec("broadcast", "bc", "NCCL", "collective", nccl.broadcast),
+    WorkloadSpec("halo2d", "halo", "NCCL", "collective", nccl.halo2d),
+]
+
+_BY_NAME = {spec.name: spec for spec in _SPECS + _COLLECTIVE_SPECS}
+_BY_ABBR = {spec.abbr: spec for spec in _SPECS + _COLLECTIVE_SPECS}
 
 
 def all_workloads() -> list[WorkloadSpec]:
@@ -66,8 +80,17 @@ def all_workloads() -> list[WorkloadSpec]:
     return list(_SPECS)
 
 
+def all_collectives() -> list[WorkloadSpec]:
+    """The collective-communication suite, ring-to-grid order."""
+    return list(_COLLECTIVE_SPECS)
+
+
 def workloads_in_class(rpki_class: str) -> list[WorkloadSpec]:
-    matching = [spec for spec in _SPECS if spec.rpki_class == rpki_class]
+    matching = [
+        spec
+        for spec in _SPECS + _COLLECTIVE_SPECS
+        if spec.rpki_class == rpki_class
+    ]
     if not matching:
         raise ValueError(f"no workloads in RPKI class {rpki_class!r}")
     return matching
@@ -82,4 +105,10 @@ def get_workload(name: str) -> WorkloadSpec:
     return spec
 
 
-__all__ = ["WorkloadSpec", "all_workloads", "workloads_in_class", "get_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "all_workloads",
+    "all_collectives",
+    "workloads_in_class",
+    "get_workload",
+]

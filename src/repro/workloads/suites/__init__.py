@@ -1,5 +1,5 @@
-"""Per-suite workload generators for the 17 benchmarks of Table IV."""
+"""Per-suite workload generators: Table IV benchmarks + the collectives."""
 
-from repro.workloads.suites import amdappsdk, dnnmark, heteromark, polybench, shoc
+from repro.workloads.suites import amdappsdk, dnnmark, heteromark, nccl, polybench, shoc
 
-__all__ = ["amdappsdk", "dnnmark", "heteromark", "polybench", "shoc"]
+__all__ = ["amdappsdk", "dnnmark", "heteromark", "nccl", "polybench", "shoc"]
