@@ -1,11 +1,24 @@
-"""Sweep-execution benchmark: serial vs parallel vs warm cache, plus the
-event-engine microbenchmark.
+"""Sweep-execution benchmark: trace-shared serial, parallel, warm store and
+warm cache, plus the event-engine microbenchmark.
 
 Times a small representative sweep (3 workloads x 3 schemes) through each
-execution path of :class:`repro.runner.SweepRunner` and the raw push/pop
-throughput of the tuple-heap :class:`~repro.sim.engine.EventQueue` against
-the seed implementation (an ``order=True`` dataclass heap), then writes the
-numbers to ``results/BENCH_sweep.json`` so future PRs have a perf
+execution path of :class:`repro.runner.SweepRunner` — cold (fresh trace
+store), store-warm (traces load from ``.npz`` instead of regenerating),
+forced-parallel (to quantify the pool penalty auto mode avoids), and
+warm result cache — and records the runner's per-phase breakdown
+(trace-gen / simulate / IPC seconds) alongside each timing.
+
+The engine microbenchmark measures three queue drivers:
+
+* ``legacy`` — the seed repo's ``order=True`` dataclass heap, reproduced
+  verbatim below;
+* ``handle`` — the current queue's cancellable path (``push``/``pop``
+  with an :class:`~repro.sim.engine.Event` allocated per entry);
+* ``current`` — the no-handle fast path the simulator actually runs:
+  ``post``-style bare-callable entries drained by ``Simulator.run``'s
+  loop (this is the number the ``events_per_sec`` trajectory tracks).
+
+Results land in ``results/BENCH_sweep.json`` so future PRs have a perf
 trajectory to compare against.
 
 Standalone:    PYTHONPATH=src python benchmarks/bench_sweep_runtime.py
@@ -28,8 +41,9 @@ from pathlib import Path
 from typing import Callable
 
 from repro.configs import scheme_config
-from repro.runner import ResultCache, SweepJob, SweepRunner, report_to_dict
-from repro.sim.engine import EventQueue
+from repro.runner import ResultCache, SweepJob, SweepRunner, TraceStore, report_to_dict
+from repro.runner.sweep import resolve_jobs
+from repro.sim.engine import EventQueue, Simulator
 from repro.workloads import get_workload
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -94,23 +108,43 @@ def _drive_queue(queue, n_events: int, batch: int = 64) -> None:
         pass
 
 
-def engine_microbench(n_events: int = 200_000, repeats: int = 3) -> dict:
-    """Best-of-N push/pop throughput for the legacy and current queues."""
+def _drive_simulator(n_events: int) -> None:
+    """The no-handle fast path end to end: ``post`` + the real run loop.
 
-    def best(factory) -> float:
+    A self-perpetuating callback posts its successor until ``n_events``
+    have fired — every event pays one bare-callable heap push and one
+    run-loop dispatch, exactly what the devices' hot paths pay.
+    """
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.post(3, tick)
+
+    sim.post(0, tick)
+    sim.run()
+
+
+def engine_microbench(n_events: int = 200_000, repeats: int = 3) -> dict:
+    """Best-of-N events/sec for the legacy, handle, and no-handle drivers."""
+
+    def best(run) -> float:
         times = []
         for _ in range(repeats):
-            queue = factory()
             start = time.perf_counter()
-            _drive_queue(queue, n_events)
+            run()
             times.append(time.perf_counter() - start)
         return min(times)
 
-    legacy_s = best(_LegacyEventQueue)
-    current_s = best(EventQueue)
+    legacy_s = best(lambda: _drive_queue(_LegacyEventQueue(), n_events))
+    handle_s = best(lambda: _drive_queue(EventQueue(), n_events))
+    current_s = best(lambda: _drive_simulator(n_events))
     return {
         "n_events": n_events,
         "legacy_events_per_sec": n_events / legacy_s,
+        "handle_events_per_sec": n_events / handle_s,
         "current_events_per_sec": n_events / current_s,
         "throughput_ratio": legacy_s / current_s,
     }
@@ -119,35 +153,48 @@ def engine_microbench(n_events: int = 200_000, repeats: int = 3) -> dict:
 # ---------------------------------------------------------------------------
 # Sweep benchmark
 # ---------------------------------------------------------------------------
+def _timed_run(runner: SweepRunner, grid: list[SweepJob]):
+    start = time.perf_counter()
+    reports = runner.run_jobs(grid)
+    elapsed = time.perf_counter() - start
+    return reports, elapsed, runner.stats.as_dict()
+
+
 def sweep_bench(scale: float, seed: int, jobs: int) -> dict:
     grid = _bench_grid(scale, seed)
-
-    start = time.perf_counter()
-    serial = SweepRunner(jobs=1).run_jobs(grid)
-    serial_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    parallel = SweepRunner(jobs=jobs).run_jobs(grid)
-    parallel_s = time.perf_counter() - start
-
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
-        cache = ResultCache(cache_dir)
-        start = time.perf_counter()
-        SweepRunner(jobs=1, cache=cache).run_jobs(grid)
-        cold_s = time.perf_counter() - start
+        # cold: fresh trace store — includes one generation per workload,
+        # then cross-scheme sharing.  This is the acceptance timing.
+        serial, serial_s, serial_stats = _timed_run(
+            SweepRunner(jobs=1, trace_store=TraceStore(store_dir)), grid
+        )
 
-        warm_runner = SweepRunner(jobs=1, cache=cache)
-        start = time.perf_counter()
-        warm = warm_runner.run_jobs(grid)
-        warm_s = time.perf_counter() - start
-        warm_hits = warm_runner.stats.cache_hits
+        # store-warm: a fresh process would load every trace from .npz
+        store_warm, store_warm_s, store_warm_stats = _timed_run(
+            SweepRunner(jobs=1, trace_store=TraceStore(store_dir)), grid
+        )
+
+        # forced parallel: quantifies the pool penalty auto mode avoids
+        parallel, parallel_s, parallel_stats = _timed_run(
+            SweepRunner(jobs=jobs, mode="parallel", trace_store=TraceStore(store_dir)),
+            grid,
+        )
+        # what auto mode would have chosen for this grid on this host
+        auto_mode = SweepRunner(jobs=jobs)._resolve_mode(resolve_jobs(jobs), len(grid))
+
+        cache = ResultCache(cache_dir)
+        _timed_run(SweepRunner(jobs=1, cache=cache, trace_store=TraceStore(store_dir)), grid)
+        warm_runner = SweepRunner(jobs=1, cache=cache, trace_store=TraceStore(store_dir))
+        warm, warm_s, warm_stats = _timed_run(warm_runner, grid)
     finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
         shutil.rmtree(cache_dir, ignore_errors=True)
 
     identical = all(
-        report_to_dict(s) == report_to_dict(p) == report_to_dict(w)
-        for s, p, w in zip(serial, parallel, warm)
+        report_to_dict(s) == report_to_dict(sw) == report_to_dict(p) == report_to_dict(w)
+        for s, sw, p, w in zip(serial, store_warm, parallel, warm)
     )
     return {
         "grid_cells": len(grid),
@@ -156,13 +203,17 @@ def sweep_bench(scale: float, seed: int, jobs: int) -> dict:
         "scale": scale,
         "seed": seed,
         "serial_s": serial_s,
+        "serial_stats": serial_stats,
+        "store_warm_s": store_warm_s,
+        "store_warm_stats": store_warm_stats,
         "parallel_s": parallel_s,
         "parallel_jobs": jobs,
         "parallel_speedup": serial_s / parallel_s if parallel_s else 0.0,
-        "cold_cache_s": cold_s,
+        "parallel_stats": parallel_stats,
+        "auto_mode": auto_mode,
         "warm_cache_s": warm_s,
         "warm_cache_speedup": serial_s / warm_s if warm_s else 0.0,
-        "warm_cache_hits": warm_hits,
+        "warm_cache_hits": warm_stats["cache_hits"],
         "bit_identical": identical,
     }
 
@@ -183,27 +234,42 @@ def main(out_path: Path | None = None) -> dict:
 
     sweep = payload["sweep"]
     engine = payload["engine"]
+    st = sweep["serial_stats"]
     print(f"sweep of {sweep['grid_cells']} cells @ scale {sweep['scale']}:")
-    print(f"  serial        {sweep['serial_s']:.2f}s")
-    print(f"  parallel x{sweep['parallel_jobs']}   {sweep['parallel_s']:.2f}s "
-          f"({sweep['parallel_speedup']:.2f}x, {payload['cpu_count']} cores visible)")
-    print(f"  cold cache    {sweep['cold_cache_s']:.2f}s")
-    print(f"  warm cache    {sweep['warm_cache_s']:.2f}s ({sweep['warm_cache_speedup']:.1f}x)")
-    print(f"  bit-identical {sweep['bit_identical']}")
-    print(f"engine push/pop: {engine['current_events_per_sec']:,.0f} ev/s vs "
+    print(f"  serial (cold store)  {sweep['serial_s']:.2f}s "
+          f"(trace-gen {st['trace_gen_s']:.2f}s, simulate {st['simulate_s']:.2f}s, "
+          f"{st['trace_reused']} traces reused)")
+    print(f"  serial (warm store)  {sweep['store_warm_s']:.2f}s "
+          f"({sweep['store_warm_stats']['trace_store_hits']} store hits)")
+    print(f"  parallel x{sweep['parallel_jobs']} (forced) {sweep['parallel_s']:.2f}s "
+          f"({sweep['parallel_speedup']:.2f}x, {payload['cpu_count']} cores visible, "
+          f"auto mode would pick: {sweep['auto_mode']})")
+    print(f"  warm cache           {sweep['warm_cache_s']:.2f}s "
+          f"({sweep['warm_cache_speedup']:.1f}x)")
+    print(f"  bit-identical        {sweep['bit_identical']}")
+    print(f"engine run loop: {engine['current_events_per_sec']:,.0f} ev/s no-handle vs "
+          f"{engine['handle_events_per_sec']:,.0f} ev/s handle vs "
           f"{engine['legacy_events_per_sec']:,.0f} ev/s legacy "
-          f"({engine['throughput_ratio']:.2f}x)")
+          f"({engine['throughput_ratio']:.2f}x over seed)")
     print(f"[written to {out_path}]")
     return payload
 
 
 def test_sweep_runtime_bench(results_dir):
     payload = main(results_dir / "BENCH_sweep.json")
-    assert payload["sweep"]["bit_identical"]
-    assert payload["sweep"]["warm_cache_hits"] == payload["sweep"]["grid_cells"]
+    sweep = payload["sweep"]
+    assert sweep["bit_identical"]
+    assert sweep["warm_cache_hits"] == sweep["grid_cells"]
     # warm cache must beat re-simulating by a wide margin
-    assert payload["sweep"]["warm_cache_speedup"] > 5
-    # the tuple heap must not regress to the seed implementation's speed
+    assert sweep["warm_cache_speedup"] > 5
+    # cross-scheme sharing: each workload generates once, the rest reuse
+    assert sweep["serial_stats"]["trace_reused"] == sweep["grid_cells"] - len(
+        sweep["workloads"]
+    )
+    # a fresh process loads traces from the store instead of regenerating
+    assert sweep["store_warm_stats"]["trace_store_hits"] == len(sweep["workloads"])
+    assert sweep["auto_mode"] in ("serial", "parallel")
+    # the no-handle run loop must not regress to the seed implementation
     assert payload["engine"]["throughput_ratio"] > 1.0
 
 

@@ -1,18 +1,26 @@
 """Compute-unit lane: the unit of trace replay inside a GPU.
 
 A lane models a group of compute units executing one stream of the kernel.
-It advances through its access list; each access becomes eligible ``gap``
+It advances through its access stream; each access becomes eligible ``gap``
 cycles after the previous one was issued.  Latency hiding is modeled by the
 lane *not* blocking on individual loads — instead a per-lane cap on
 outstanding remote requests (wavefront-dependency pressure) plus the GPU's
 global window bound how far it can run ahead.
+
+The replay state is flat: three parallel integer tuples (``gaps``,
+``addrs``, ``writes`` — the :class:`~repro.workloads.compiled.CompiledLane`
+layout) and an index.  The device pump reads the arrays directly; no
+per-access object ever exists on the replay path.  A legacy
+``list[Access]`` trace is accepted and compiled on the way in, so unit
+tests and ad-hoc callers can still hand the lane authoring-form traces.
 """
 
 from __future__ import annotations
 
 from enum import Enum
 
-from repro.workloads.base import Access, LaneTrace
+from repro.workloads.base import Access, AccessKind, LaneTrace
+from repro.workloads.compiled import CompiledLane
 
 
 class LaneState(Enum):
@@ -23,16 +31,43 @@ class LaneState(Enum):
 
 
 class ComputeUnitLane:
-    """Replay state for one lane trace."""
+    """Replay state for one lane's access stream."""
 
-    def __init__(self, lane_id: int, trace: LaneTrace, max_outstanding: int = 4) -> None:
+    __slots__ = (
+        "lane_id",
+        "gaps",
+        "addrs",
+        "writes",
+        "n",
+        "max_outstanding",
+        "index",
+        "ready_at",
+        "outstanding",
+        "issued",
+    )
+
+    def __init__(
+        self,
+        lane_id: int,
+        trace: LaneTrace | CompiledLane,
+        max_outstanding: int = 4,
+    ) -> None:
         if max_outstanding < 1:
             raise ValueError("lane needs at least one outstanding slot")
+        if not isinstance(trace, CompiledLane):
+            trace = CompiledLane(
+                tuple(a.gap for a in trace),
+                tuple(a.address for a in trace),
+                tuple(1 if a.is_write else 0 for a in trace),
+            )
         self.lane_id = lane_id
-        self.trace = trace
+        self.gaps = trace.gaps
+        self.addrs = trace.addrs
+        self.writes = trace.writes
+        self.n = len(trace.gaps)
         self.max_outstanding = max_outstanding
         self.index = 0
-        self.ready_at = trace[0].gap if trace else 0
+        self.ready_at = trace.gaps[0] if self.n else 0
         self.outstanding = 0
         self.issued = 0
 
@@ -41,15 +76,15 @@ class ComputeUnitLane:
     # ------------------------------------------------------------------
     @property
     def finished(self) -> bool:
-        return self.index >= len(self.trace)
+        return self.index >= self.n
 
     @property
     def drained(self) -> bool:
         """Trace exhausted and every issued request completed."""
-        return self.finished and self.outstanding == 0
+        return self.index >= self.n and self.outstanding == 0
 
     def state(self, now: int) -> LaneState:
-        if self.finished:
+        if self.index >= self.n:
             return LaneState.DONE
         if self.outstanding >= self.max_outstanding:
             return LaneState.BLOCKED
@@ -58,14 +93,21 @@ class ComputeUnitLane:
         return LaneState.READY
 
     def peek(self) -> Access:
-        if self.finished:
+        """The next access in authoring form (diagnostics/tests only —
+        the hot path reads the arrays directly)."""
+        if self.index >= self.n:
             raise IndexError(f"lane {self.lane_id} is exhausted")
-        return self.trace[self.index]
+        i = self.index
+        return Access(
+            gap=self.gaps[i],
+            address=self.addrs[i],
+            kind=AccessKind.WRITE if self.writes[i] else AccessKind.READ,
+        )
 
     # ------------------------------------------------------------------
     # Progress
     # ------------------------------------------------------------------
-    def issue(self, now: int, consumes_slot: bool) -> Access:
+    def issue(self, now: int, consumes_slot: bool) -> None:
         """Issue the next access at cycle ``now``.
 
         ``consumes_slot`` is True for accesses that stay outstanding
@@ -74,14 +116,13 @@ class ComputeUnitLane:
         """
         if self.state(now) is not LaneState.READY:
             raise RuntimeError(f"lane {self.lane_id} not ready at {now}")
-        access = self.trace[self.index]
-        self.index += 1
+        index = self.index + 1
+        self.index = index
         self.issued += 1
         if consumes_slot:
             self.outstanding += 1
-        if not self.finished:
-            self.ready_at = now + self.trace[self.index].gap
-        return access
+        if index < self.n:
+            self.ready_at = now + self.gaps[index]
 
     def complete(self) -> None:
         """A previously issued outstanding access finished."""

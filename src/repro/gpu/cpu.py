@@ -79,7 +79,7 @@ class HostCpu:
                 txn_id=packet.txn_id,
                 address=packet.address,
             )
-            self.sim.schedule_at(done, lambda p=response: self.transport.send(p, self.sim.now))
+            self.sim.post_at(done, lambda p=response: self.transport.send(p, self.sim.now))
         elif kind is PacketKind.WRITE_REQ:
             self._served.add()
             done = self._dram_access(BLOCK_BYTES)
@@ -91,7 +91,7 @@ class HostCpu:
                 txn_id=packet.txn_id,
                 address=packet.address,
             )
-            self.sim.schedule_at(done, lambda p=ack: self.transport.send(p, self.sim.now))
+            self.sim.post_at(done, lambda p=ack: self.transport.send(p, self.sim.now))
         elif kind is PacketKind.MIGRATION_REQ:
             self._served.add()
             done = self._dram_access(PAGE_BYTES)
@@ -110,7 +110,7 @@ class HostCpu:
                         self.sim.now,
                     )
 
-            self.sim.schedule_at(done, stream)
+            self.sim.post_at(done, stream)
         else:
             raise ValueError(f"cpu: unexpected packet kind {kind}")
 

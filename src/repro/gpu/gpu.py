@@ -1,6 +1,6 @@
 """Trace-driven GPU device model.
 
-The device replays compute-unit lane traces through its TLB and cache
+The device replays compute-unit lane streams through its TLB and cache
 hierarchy.  Accesses that miss the caches are served from local HBM or, for
 pages owned by another processor, become interconnect transactions routed
 through the configured transport (which may be an unsecure fabric or a
@@ -11,6 +11,14 @@ Progress throttling — the property that makes added communication latency
 and bandwidth show up as end-to-end slowdown — comes from two windows:
 a per-lane outstanding cap (wavefront dependencies) and a GPU-wide
 outstanding-request window (MSHR capacity).
+
+Hot-path notes: the pump replays :class:`~repro.workloads.compiled.
+CompiledLane` integer arrays directly — no per-access objects — with lane
+readiness inlined (the :class:`~repro.gpu.compute_unit.LaneState` enum is
+for tests and diagnostics, not the issue loop), and every one-shot
+completion callback goes through the engine's no-handle ``post``/
+``post_at`` path.  Only the wakeup timer, which is routinely cancelled and
+rescheduled, takes an :class:`~repro.sim.engine.Event` handle.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from typing import Callable
 
 from repro.configs import GpuConfig, MigrationConfig
 from repro.gpu.cache import SetAssociativeCache
-from repro.gpu.compute_unit import ComputeUnitLane, LaneState
+from repro.gpu.compute_unit import ComputeUnitLane
 from repro.interconnect.arbiter import RoundRobinArbiter
 from repro.gpu.hbm import HbmModel
 from repro.gpu.tlb import TlbHierarchy
@@ -38,7 +46,8 @@ from repro.memory.page_table import PageTable
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
 from repro.transport import MessageTransport
-from repro.workloads.base import Access, GpuTrace
+from repro.workloads.base import GpuTrace
+from repro.workloads.compiled import CompiledGpuTrace, CompiledLane
 
 _txn_ids = itertools.count(1)
 
@@ -74,7 +83,7 @@ class GpuDevice:
         self.directory = BlockDirectory()
 
         self.outstanding = 0  # GPU-wide remote window occupancy
-        self._pending: dict[int, dict] = {}  # txn id -> context
+        self._pending: dict[int, tuple] = {}  # txn id -> (kind, payload)
         self._migrating: dict[int, dict] = {}  # page -> in-flight migration state
         self._wakeup = None
         self.finish_cycle: int | None = None
@@ -93,8 +102,12 @@ class GpuDevice:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def load_trace(self, trace: GpuTrace) -> None:
-        """Install the workload's lane traces for this GPU."""
+    def load_trace(self, trace: GpuTrace | CompiledGpuTrace) -> None:
+        """Install the workload's lane streams for this GPU.
+
+        Accepts both trace forms; the authoring form is compiled lane by
+        lane inside :class:`ComputeUnitLane`.
+        """
         if self.lanes:
             raise RuntimeError(f"gpu{self.node_id} already has a trace loaded")
         self.instructions = trace.instructions
@@ -110,90 +123,102 @@ class GpuDevice:
         self._arbiter = RoundRobinArbiter(range(len(self.lanes)))
 
     def start(self) -> None:
-        self.sim.schedule(0, self._pump)
+        self.sim.post(0, self._pump)
 
     # ------------------------------------------------------------------
     # Issue pump
     # ------------------------------------------------------------------
     def _pump(self) -> None:
         now = self.sim.now
-        while self.outstanding < self.cfg.max_outstanding:
+        lanes = self.lanes
+        max_out = self.cfg.max_outstanding
+        grant = self._arbiter.grant
+        while self.outstanding < max_out:
+            # inline LaneState.READY: not exhausted, under its outstanding
+            # cap, and its gap has elapsed
             ready = [
-                lane.lane_id for lane in self.lanes if lane.state(now) is LaneState.READY
+                l.lane_id
+                for l in lanes
+                if l.index < l.n and l.outstanding < l.max_outstanding and now >= l.ready_at
             ]
             if not ready:
                 break
             # wavefront schedulers grant issue slots fairly; without
             # rotation, low-numbered lanes would monopolize the window
-            winner = self._arbiter.grant(ready)
-            self._handle_access(self.lanes[winner], now)
+            winner = grant(ready)
+            self._handle_access(lanes[winner], now)
         self._schedule_wakeup(now)
-        self._check_finished(now)
+        if self.finish_cycle is None:
+            self._check_finished(now)
 
     def _schedule_wakeup(self, now: int) -> None:
         next_time: int | None = None
-        for lane in self.lanes:
-            if lane.state(now) is LaneState.WAITING:
-                if next_time is None or lane.ready_at < next_time:
-                    next_time = lane.ready_at
+        for l in self.lanes:
+            # inline LaneState.WAITING: not exhausted, under its cap, gap
+            # still running
+            if l.index < l.n and l.outstanding < l.max_outstanding and now < l.ready_at:
+                if next_time is None or l.ready_at < next_time:
+                    next_time = l.ready_at
         if next_time is None:
             return
         # an existing wakeup only counts if it is still in the future
-        if (
-            self._wakeup is not None
-            and not self._wakeup.cancelled
-            and self._wakeup.time > now
-        ):
-            if self._wakeup.time <= next_time:
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.cancelled and wakeup.time > now:
+            if wakeup.time <= next_time:
                 return
-            self._wakeup.cancel()
+            wakeup.cancel()
         self._wakeup = self.sim.schedule_at(next_time, self._pump)
 
     def _check_finished(self, now: int) -> None:
-        if self.finish_cycle is None and self.lanes and all(l.drained for l in self.lanes):
-            self.finish_cycle = now
+        lanes = self.lanes
+        if not lanes:
+            return
+        for l in lanes:
+            if l.index < l.n or l.outstanding:
+                return
+        self.finish_cycle = now
 
     # ------------------------------------------------------------------
     # Access classification
     # ------------------------------------------------------------------
     def _handle_access(self, lane: ComputeUnitLane, now: int) -> None:
-        access = lane.peek()
-        _, needs_walk = self.tlbs.translate(access.address)
+        i = lane.index
+        addr = lane.addrs[i]
+        write = lane.writes[i]
+        _, needs_walk = self.tlbs.translate(addr)
         if needs_walk:
             # The IOMMU walk round-trip stalls this access; the lane slot is
             # held so dependent work backs up behind the walk.
             lane.issue(now, consumes_slot=True)
-            self.sim.schedule(
+            self.sim.post(
                 self.cfg.iommu_walk_cycles,
-                lambda l=lane, a=access: self._post_translation(l, a),
+                lambda l=lane, a=addr, w=write: self._access_memory(l, a, w, True),
             )
             return
         lane.issue(now, consumes_slot=False)
-        self._access_memory(lane, access, slot_held=False)
+        self._access_memory(lane, addr, write, False)
 
-    def _post_translation(self, lane: ComputeUnitLane, access: Access) -> None:
-        self._access_memory(lane, access, slot_held=True)
-
-    def _access_memory(self, lane: ComputeUnitLane, access: Access, slot_held: bool) -> None:
+    def _access_memory(
+        self, lane: ComputeUnitLane, addr: int, write: int, slot_held: bool
+    ) -> None:
         """Cache lookup and routing.  ``slot_held`` = lane slot already taken."""
-        addr = access.address
-        l1 = self.l1s[lane.lane_id]
-        if not access.is_write and l1.lookup(addr):
-            self._cache_hits.add()
-            self._finish_access(lane, slot_held)
-            return
-        if not access.is_write and self.l2.lookup(addr):
-            self._cache_hits.add()
-            l1.fill(addr)
-            self._finish_access(lane, slot_held)
-            return
+        if not write:
+            if self.l1s[lane.lane_id].lookup(addr):
+                self._cache_hits.add()
+                self._finish_access(lane, slot_held)
+                return
+            if self.l2.lookup(addr):
+                self._cache_hits.add()
+                self.l1s[lane.lane_id].fill(addr)
+                self._finish_access(lane, slot_held)
+                return
 
-        page = page_of(addr)
+        page = addr // PAGE_BYTES
         owner = self.page_table.owner(page)
         if owner == self.node_id:
-            self._local_access(lane, access, slot_held)
+            self._local_access(lane, addr, write, slot_held)
         else:
-            self._remote_access(lane, access, owner, slot_held)
+            self._remote_access(lane, addr, write, owner, slot_held)
 
     def _finish_access(self, lane: ComputeUnitLane, slot_held: bool) -> None:
         if slot_held:
@@ -208,17 +233,17 @@ class GpuDevice:
     # ------------------------------------------------------------------
     # Local path
     # ------------------------------------------------------------------
-    def _local_access(self, lane: ComputeUnitLane, access: Access, slot_held: bool) -> None:
+    def _local_access(
+        self, lane: ComputeUnitLane, addr: int, write: int, slot_held: bool
+    ) -> None:
         self._local_accesses.add()
         done = self.hbm.access(self.sim.now, BLOCK_BYTES)
-        if access.is_write:
+        if write:
             # Local writes retire without stalling the lane.
             self._finish_access(lane, slot_held)
             return
         self._hold_slot(lane, slot_held)
-        self.sim.schedule_at(
-            done, lambda l=lane, a=access.address: self._local_read_done(l, a)
-        )
+        self.sim.post_at(done, lambda l=lane, a=addr: self._local_read_done(l, a))
 
     def _local_read_done(self, lane: ComputeUnitLane, addr: int) -> None:
         self.l2.fill(addr)
@@ -230,21 +255,20 @@ class GpuDevice:
     # Remote path
     # ------------------------------------------------------------------
     def _remote_access(
-        self, lane: ComputeUnitLane, access: Access, owner: int, slot_held: bool
+        self, lane: ComputeUnitLane, addr: int, write: int, owner: int, slot_held: bool
     ) -> None:
-        page = page_of(access.address)
+        page = addr // PAGE_BYTES
         decision = self.migration_policy.on_remote_access(page, self.node_id)
         if decision is MigrationDecision.MIGRATE and page not in self._migrating:
             self._start_migration(page, owner)
 
         self._hold_slot(lane, slot_held)
-        if access.is_write:
-            self._remote_write(lane, access, owner)
+        if write:
+            self._remote_write(lane, addr, owner)
         else:
-            self._remote_read(lane, access, owner)
+            self._remote_read(lane, addr, owner)
 
-    def _remote_read(self, lane: ComputeUnitLane, access: Access, owner: int) -> None:
-        addr = access.address
+    def _remote_read(self, lane: ComputeUnitLane, addr: int, owner: int) -> None:
         block = block_of(addr)
         must_issue = self.directory.request(
             self.node_id, block, lambda _t, l=lane, a=addr: self._remote_read_done(l, a)
@@ -254,7 +278,7 @@ class GpuDevice:
         self._remote_reads.add()
         self.outstanding += 1
         txn = next(_txn_ids)
-        self._pending[txn] = {"block": block, "kind": "read"}
+        self._pending[txn] = ("read", block)
         packet = Packet(
             kind=PacketKind.READ_REQ,
             src=self.node_id,
@@ -270,18 +294,18 @@ class GpuDevice:
         lane.complete()
         self._pump()
 
-    def _remote_write(self, lane: ComputeUnitLane, access: Access, owner: int) -> None:
+    def _remote_write(self, lane: ComputeUnitLane, addr: int, owner: int) -> None:
         self._remote_writes.add()
         self.outstanding += 1
         txn = next(_txn_ids)
-        self._pending[txn] = {"kind": "write", "lane": lane}
+        self._pending[txn] = ("write", lane)
         packet = Packet(
             kind=PacketKind.WRITE_REQ,
             src=self.node_id,
             dst=owner,
             size_bytes=self.cfg_request_bytes() + BLOCK_BYTES,
             txn_id=txn,
-            address=access.address,
+            address=addr,
         )
         self.transport.send(packet, self.sim.now)
 
@@ -295,7 +319,7 @@ class GpuDevice:
         self._migrations_started.add()
         self._migrating[page] = {"received": 0, "owner": owner}
         txn = next(_txn_ids)
-        self._pending[txn] = {"kind": "migration_req", "page": page}
+        self._pending[txn] = ("migration_req", page)
         packet = Packet(
             kind=PacketKind.MIGRATION_REQ,
             src=self.node_id,
@@ -315,7 +339,7 @@ class GpuDevice:
             commit_delay = (
                 self.migration_cfg.driver_cycles + self.migration_cfg.shootdown_cycles
             )
-            self.sim.schedule(commit_delay, lambda p=page: self._commit_migration(p))
+            self.sim.post(commit_delay, lambda p=page: self._commit_migration(p))
 
     def _commit_migration(self, page: int) -> None:
         state = self._migrating.pop(page, None)
@@ -363,7 +387,7 @@ class GpuDevice:
             txn_id=packet.txn_id,
             address=packet.address,
         )
-        self.sim.schedule_at(done, lambda p=response: self.transport.send(p, self.sim.now))
+        self.sim.post_at(done, lambda p=response: self.transport.send(p, self.sim.now))
 
     def _serve_write(self, packet: Packet) -> None:
         self._served_requests.add()
@@ -376,7 +400,7 @@ class GpuDevice:
             txn_id=packet.txn_id,
             address=packet.address,
         )
-        self.sim.schedule_at(done, lambda p=ack: self.transport.send(p, self.sim.now))
+        self.sim.post_at(done, lambda p=ack: self.transport.send(p, self.sim.now))
 
     def _serve_migration(self, packet: Packet) -> None:
         """Stream the whole page to the requester as 64 block packets."""
@@ -395,23 +419,23 @@ class GpuDevice:
                 )
                 self.transport.send(block_packet, self.sim.now)
 
-        self.sim.schedule_at(done, stream)
+        self.sim.post_at(done, stream)
 
     def _complete_read(self, packet: Packet, now: int) -> None:
         ctx = self._pending.pop(packet.txn_id, None)
-        if ctx is None or ctx["kind"] != "read":
+        if ctx is None or ctx[0] != "read":
             raise ValueError(f"gpu{self.node_id}: stray DATA_RESP txn {packet.txn_id}")
         self.outstanding -= 1
         self.l2.fill(packet.address)
-        self.directory.complete(self.node_id, ctx["block"], now)
+        self.directory.complete(self.node_id, ctx[1], now)
         self._pump()
 
     def _complete_write(self, packet: Packet) -> None:
         ctx = self._pending.pop(packet.txn_id, None)
-        if ctx is None or ctx["kind"] != "write":
+        if ctx is None or ctx[0] != "write":
             raise ValueError(f"gpu{self.node_id}: stray WRITE_ACK txn {packet.txn_id}")
         self.outstanding -= 1
-        ctx["lane"].complete()
+        ctx[1].complete()
         self._pump()
 
     # ------------------------------------------------------------------

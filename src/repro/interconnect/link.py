@@ -44,12 +44,14 @@ class Channel:
         start = max(now, self.busy_until)
         ser = self.serialization_cycles(packet.size_bytes)
         self.busy_until = start + ser
-        self._bytes.add(packet.size_bytes)
-        self._base_bytes.add(packet.base_bytes)
-        self._meta_bytes.add(packet.meta_bytes)
-        self._packets.add()
-        self._queue_cycles.add(start - now)
-        self._busy_cycles.add(ser)
+        # Inlined Counter.add: six bumps per packet per stage make this the
+        # densest counter site in the simulator.
+        self._bytes.value += packet.size_bytes
+        self._base_bytes.value += packet.base_bytes
+        self._meta_bytes.value += packet.meta_bytes
+        self._packets.value += 1
+        self._queue_cycles.value += start - now
+        self._busy_cycles.value += ser
         return self.busy_until + self.latency
 
     @property

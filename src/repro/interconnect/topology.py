@@ -96,6 +96,9 @@ class Topology:
         self._base_bytes = self.stats.counter("base_bytes")
         self._meta_bytes = self.stats.counter("meta_bytes")
         self._packets = self.stats.counter("packets")
+        # The fabric is static after construction, so (src, dst) → stages is
+        # memoized — path() runs once per pair instead of once per packet.
+        self._path_cache: dict[tuple[NodeId, NodeId], list[Channel]] = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -115,6 +118,14 @@ class Topology:
 
     def path(self, src: NodeId, dst: NodeId) -> list[Channel]:
         """The ordered channel stages a (src → dst) message traverses."""
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        path = self._build_path(src, dst)
+        self._path_cache[(src, dst)] = path
+        return path
+
+    def _build_path(self, src: NodeId, dst: NodeId) -> list[Channel]:
         self._validate(src)
         self._validate(dst)
         if src == dst:
@@ -176,10 +187,12 @@ class Topology:
         t = now
         for stage in self.path(packet.src, packet.dst):
             t = stage.send(packet, t)
-        self._bytes.add(packet.size_bytes)
-        self._base_bytes.add(packet.base_bytes)
-        self._meta_bytes.add(packet.meta_bytes)
-        self._packets.add()
+        # Inlined Counter.add: one message-level bump per counter, on the
+        # per-packet hot path.
+        self._bytes.value += packet.size_bytes
+        self._base_bytes.value += packet.base_bytes
+        self._meta_bytes.value += packet.meta_bytes
+        self._packets.value += 1
         return t
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ KNOWN_NAMESPACES = frozenset(
         "fault",    # injected faults and recovery events
         "engine",   # event-engine push/pop/cancel profile
         "cache",    # sweep-runner cache activity
+        "trace",    # trace-store reuse (runner-side; never in a report)
         "profile",  # reserved for wall-clock phase profiling
     }
 )

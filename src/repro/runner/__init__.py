@@ -14,6 +14,13 @@ from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
 from repro.runner.jobs import SweepJob, cache_salt, execute_job, is_registry_spec, job_key
 from repro.runner.serialize import report_from_dict, report_to_dict
 from repro.runner.sweep import SweepError, SweepRunner, SweepStats, resolve_jobs
+from repro.runner.trace_store import (
+    DEFAULT_TRACE_DIR,
+    TraceStore,
+    default_trace_store,
+    job_trace_key,
+    trace_key,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -30,4 +37,9 @@ __all__ = [
     "SweepRunner",
     "SweepStats",
     "resolve_jobs",
+    "DEFAULT_TRACE_DIR",
+    "TraceStore",
+    "default_trace_store",
+    "trace_key",
+    "job_trace_key",
 ]

@@ -97,20 +97,45 @@ def job_key(job: SweepJob) -> str | None:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def execute_job(job: SweepJob) -> SimulationReport:
-    """Run one cell: generate the trace and simulate it.  Pure & deterministic.
+def execute_job(job: SweepJob, *, trace=None, trace_store=None) -> SimulationReport:
+    """Run one cell: obtain its trace and simulate it.  Pure & deterministic.
 
-    One run-scoped :class:`~repro.obs.Telemetry` spans the whole cell, so
-    the wall-clock profile covers trace generation as well as the system's
-    build/simulate/report phases.  Only the deterministic metrics snapshot
+    The trace can come from three places, in precedence order: an explicit
+    ``trace`` (a :class:`~repro.workloads.compiled.CompiledTrace` the sweep
+    scheduler already shares across schemes), a ``trace_store`` (a
+    :class:`~repro.runner.trace_store.TraceStore` consulted by content
+    key), or — the standalone default — fresh generation.  Traces are a
+    pure function of ``(workload, n_gpus, seed, scale, n_lanes)``, so the
+    resulting :class:`~repro.system.SimulationReport` is bit-identical no
+    matter which path supplied the trace (tested in
+    ``tests/test_compiled_trace.py``).
+
+    One run-scoped :class:`~repro.obs.Telemetry` spans the whole cell.  The
+    ``trace.generate`` phase is recorded **only** when this call actually
+    generated the trace — a store hit or a pre-shared trace must not
+    inflate the phase profile.  Only the deterministic metrics snapshot
     lands on the report; the profile stays in-process (see
     ``docs/OBSERVABILITY.md``).
     """
     telemetry = Telemetry()
-    with telemetry.phase("trace.generate"):
-        trace = job.spec.generate(
-            n_gpus=job.config.n_gpus, seed=job.seed, scale=job.scale, n_lanes=job.n_lanes
-        )
+    if trace is None:
+        if trace_store is not None:
+            trace, _source = trace_store.get_or_generate(
+                job.spec,
+                job.config.n_gpus,
+                job.seed,
+                job.scale,
+                job.n_lanes,
+                telemetry=telemetry,
+            )
+        else:
+            with telemetry.phase("trace.generate"):
+                trace = job.spec.generate(
+                    n_gpus=job.config.n_gpus,
+                    seed=job.seed,
+                    scale=job.scale,
+                    n_lanes=job.n_lanes,
+                )
     return MultiGpuSystem(job.config, telemetry=telemetry).run(trace)
 
 

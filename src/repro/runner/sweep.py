@@ -1,4 +1,4 @@
-"""Parallel sweep execution with persistent caching.
+"""Sweep scheduling: trace-shared, cache-backed, serial or process-parallel.
 
 :class:`SweepRunner` takes a list of :class:`~repro.runner.jobs.SweepJob`
 cells and returns their :class:`~repro.system.SimulationReport` results *in
@@ -7,22 +7,44 @@ input order*, regardless of how the work was executed:
 1. structurally identical jobs are deduplicated (every figure re-requests
    the unsecure baseline per workload),
 2. cells present in the persistent cache are loaded, not simulated,
-3. remaining cells fan out over a ``ProcessPoolExecutor`` when ``jobs > 1``
-   — the simulations are CPU-bound pure Python, so processes (not threads)
-   are the only way to use more than one core,
-4. anything the pool could not produce (pickling failure, worker crash,
-   per-job timeout, a broken pool, an OS without working process pools)
+3. the remaining cells are grouped by **trace key** — cells that differ
+   only in their security configuration replay literally the same
+   :class:`~repro.workloads.compiled.CompiledTrace`, generated (or loaded
+   from the on-disk trace store) exactly once,
+4. execution mode is chosen: ``"serial"`` runs groups in-process;
+   ``"parallel"`` fans trace-key groups out over a
+   ``ProcessPoolExecutor`` as *chunks*, so each worker round-trip carries
+   several cells and amortizes its trace load across them; ``"auto"``
+   (the default) picks parallel only when it can plausibly win — more than
+   one worker requested, more than one CPU present, and enough pending
+   cells to amortize pool startup.  The measured failure mode this guards
+   against: on a single-core host (or a two-cell grid) pool spawn + IPC
+   costs more than the simulations themselves,
+5. anything the pool could not produce (pickling failure, worker crash,
+   per-chunk timeout, a broken pool, an OS without working process pools)
    falls back to in-process serial execution with bounded retries.
 
 Each cell is a pure deterministic function of its job description, so the
 merge is trivially deterministic: results carry no trace of where or in
 what order they ran, and serial / parallel / cached runs of the same sweep
-produce bit-identical reports (tested in ``tests/test_sweep_runner.py``).
+produce bit-identical reports (tested in ``tests/test_sweep_runner.py`` and
+``tests/test_compiled_trace.py``).
 
-Workers receive registry workloads *by name* and rebuild the spec from the
-registry on their side — that keeps the cross-process payload free of
-closures (synthetic specs close over arbitrary knobs and may not pickle);
-non-registry specs simply run serially in the parent.
+Workers receive registry workloads *by name* and rebuild both the spec and
+the trace on their side — the spec from the registry, the trace from a
+process-local :class:`~repro.runner.trace_store.TraceStore` (so a chunk of
+N schemes loads or generates its trace once, and a long-lived worker reuses
+it across chunks).  That keeps the cross-process payload free of closures
+and of multi-megabyte trace arrays; non-registry specs simply run serially
+in the parent.  (The alternative — generating in the parent and shipping
+the compiled arrays through the pool pickles — was measured slower: the
+trace bytes dominate the IPC cost, while a worker-side store load is a
+single mmap-free ``.npz`` read.  See docs/PERFORMANCE.md.)
+
+:class:`SweepStats` records how the last run was executed — chosen mode,
+cell provenance, trace-reuse counts, and a parent-side wall-clock split
+(``trace_gen_s`` / ``simulate_s`` / ``ipc_s``) — which is what
+``benchmarks/bench_sweep_runtime.py`` snapshots into ``BENCH_sweep.json``.
 """
 
 from __future__ import annotations
@@ -31,17 +53,26 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Sequence
 
+from repro.obs import Telemetry
 from repro.system import SimulationReport
 
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SweepJob, execute_job, is_registry_spec, job_key
 from repro.runner.serialize import report_from_dict
+from repro.runner.trace_store import TraceStore, default_trace_store, job_trace_key
 
 
 class SweepError(RuntimeError):
     """A sweep cell failed on every execution attempt."""
+
+
+#: ``mode="auto"`` only goes parallel when at least this many cells are
+#: pending — below it, pool spawn + per-chunk IPC exceeds the simulation
+#: time saved (measured on the BENCH grid; see docs/PERFORMANCE.md).
+AUTO_PARALLEL_MIN_CELLS = 4
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -54,24 +85,54 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, int(jobs))
 
 
-def _worker(payload: tuple[str, Any, int, float, int]) -> dict[str, Any]:
-    """Process-pool entry point: rebuild the job from the registry and run it.
+#: Process-local trace stores for pool workers, keyed by disk root: one per
+#: (worker process, root), created on first use, shared across every chunk
+#: that worker executes against that root.
+_worker_trace_stores: dict[str | None, TraceStore] = {}
 
-    Returns the report as a JSON-safe dict — the exact serialization the
-    cache uses — so the parent-side decode path is shared with cache loads.
+
+def _worker(
+    store_root: str | None,
+    payload: tuple[tuple[str, Any, int, float, int], ...],
+) -> list[dict[str, Any]]:
+    """Process-pool entry point: run one chunk of cells sharing a trace key.
+
+    The chunk's jobs are rebuilt from the registry by name; the first job
+    pulls the chunk's trace out of this worker's process-local store (disk
+    hit, or one generation) and every subsequent job in the chunk replays
+    the same in-memory object.  ``store_root`` is the parent runner's store
+    root (None for memo-only), so workers read and write the same disk
+    layer as the parent instead of a default of their own.  Returns the
+    reports as JSON-safe dicts — the exact serialization the cache uses —
+    so the parent-side decode path is shared with cache loads.
     """
     from repro.workloads import get_workload
 
-    name, config, seed, scale, n_lanes = payload
-    job = SweepJob(spec=get_workload(name), config=config, seed=seed, scale=scale, n_lanes=n_lanes)
     from repro.runner.serialize import report_to_dict
 
-    return report_to_dict(execute_job(job))
+    store = _worker_trace_stores.get(store_root)
+    if store is None:
+        store = _worker_trace_stores[store_root] = TraceStore(store_root)
+
+    out: list[dict[str, Any]] = []
+    for name, config, seed, scale, n_lanes in payload:
+        job = SweepJob(
+            spec=get_workload(name), config=config, seed=seed, scale=scale, n_lanes=n_lanes
+        )
+        out.append(report_to_dict(execute_job(job, trace_store=store)))
+    return out
 
 
 @dataclass
 class SweepStats:
-    """Where the cells of the last ``run_jobs`` call came from."""
+    """How the cells of the last ``run_jobs`` call were executed.
+
+    The three ``*_s`` fields are a parent-side wall-clock decomposition:
+    ``trace_gen_s`` is time spent generating traces in the parent (store
+    hits and reuses contribute nothing), ``simulate_s`` is in-process
+    simulation time, and ``ipc_s`` is time blocked on pool futures —
+    worker compute plus pickling — for chunks that ran remotely.
+    """
 
     requested: int = 0
     deduplicated: int = 0
@@ -80,30 +141,52 @@ class SweepStats:
     serial_runs: int = 0
     retries: int = 0
     fallbacks: int = 0  # cells the pool failed and serial execution rescued
+    mode: str = ""  # effective mode of the last run: "serial" or "parallel"
+    trace_reused: int = 0  # cells served by an already-loaded trace (memo)
+    trace_store_hits: int = 0  # cells whose trace loaded from the disk store
+    trace_gen_s: float = 0.0
+    simulate_s: float = 0.0
+    ipc_s: float = 0.0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float | str]:
         return dict(self.__dict__)
 
 
 @dataclass
 class SweepRunner:
-    """Fans independent simulation cells out over processes, with caching.
+    """Runs simulation cells with trace sharing, caching, and parallelism.
 
-    ``jobs``     worker processes (1 = serial; None = ``REPRO_JOBS`` or 1)
-    ``cache``    optional :class:`ResultCache`; None disables persistence
-    ``timeout``  per-job seconds before the parent gives up on a worker and
-                 re-runs the cell serially (None = wait forever)
-    ``retries``  extra serial attempts per cell after its first failure
+    ``jobs``         worker processes (1 = serial; None = ``REPRO_JOBS`` or 1)
+    ``cache``        optional :class:`ResultCache`; None disables persistence
+    ``timeout``      seconds before the parent gives up on a pool chunk and
+                     re-runs its cells serially (None = wait forever)
+    ``retries``      extra serial attempts per cell after its first failure
+    ``mode``         ``"auto"`` (default) / ``"serial"`` / ``"parallel"``;
+                     auto picks serial for small grids and single-CPU hosts
+    ``trace_store``  :class:`TraceStore` for cross-scheme trace sharing;
+                     None builds :func:`default_trace_store` on first use
     """
 
     jobs: int | None = None
     cache: ResultCache | None = None
     timeout: float | None = None
     retries: int = 1
+    mode: str = "auto"
+    trace_store: TraceStore | None = None
     stats: SweepStats = field(default_factory=SweepStats)
+    #: runner-scoped telemetry: ``trace.reused`` / ``trace.store_hits``
+    #: counters accumulate here across ``run_jobs`` calls.  Deliberately
+    #: *not* the per-run telemetry that feeds ``SimulationReport.metrics``
+    #: — trace reuse depends on execution history, and the report snapshot
+    #: must stay a pure function of the job description.
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     def run_jobs(self, sweep_jobs: Sequence[SweepJob]) -> list[SimulationReport]:
         """Execute every cell and return reports in input order."""
+        if self.mode not in ("auto", "serial", "parallel"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.trace_store is None:
+            self.trace_store = default_trace_store()
         n_workers = resolve_jobs(self.jobs)
         self.stats = SweepStats(requested=len(sweep_jobs))
 
@@ -125,12 +208,13 @@ class SweepRunner:
                         self.stats.cache_hits += 1
 
         pending = [job for job, report in unique.items() if report is None]
-        if n_workers > 1 and len(pending) > 1:
+        self.stats.mode = self._resolve_mode(n_workers, len(pending))
+        if self.stats.mode == "parallel":
             self._run_parallel(pending, unique, n_workers)
 
         for job in pending:
             if unique[job] is None:
-                unique[job] = self._run_serial(job)
+                unique[job] = self._run_cell(job)
 
         if self.cache is not None:
             for job in pending:
@@ -142,7 +226,35 @@ class SweepRunner:
                     except OSError:
                         break  # cache root unwritable — results still stand
 
+        self.telemetry.counter("trace.reused").add(self.stats.trace_reused)
+        self.telemetry.counter("trace.store_hits").add(self.stats.trace_store_hits)
         return [unique[job] for job in sweep_jobs]  # type: ignore[misc]
+
+    def _resolve_mode(self, n_workers: int, n_pending: int) -> str:
+        """Pick the effective execution mode for this run."""
+        if self.mode != "auto":
+            return self.mode
+        if n_workers <= 1 or (os.cpu_count() or 1) <= 1:
+            return "serial"
+        if n_pending < AUTO_PARALLEL_MIN_CELLS:
+            return "serial"
+        return "parallel"
+
+    # ------------------------------------------------------------------
+    # Trace-key grouping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_by_trace(jobs: Sequence[SweepJob]) -> list[list[SweepJob]]:
+        """Group cells sharing a trace key, preserving first-seen order.
+
+        Cells without a key (non-registry specs) each form their own
+        singleton group — nothing can be shared for them.
+        """
+        groups: dict[object, list[SweepJob]] = {}
+        for job in jobs:
+            key = job_trace_key(job)
+            groups.setdefault(key if key is not None else id(job), []).append(job)
+        return list(groups.values())
 
     # ------------------------------------------------------------------
     # Execution strategies
@@ -153,40 +265,52 @@ class SweepRunner:
         results: dict[SweepJob, SimulationReport | None],
         n_workers: int,
     ) -> None:
-        """Best-effort pool execution; whatever fails stays None for serial."""
+        """Best-effort chunked pool execution; failures stay None for serial."""
         dispatchable = [job for job in pending if is_registry_spec(job.spec)]
         if len(dispatchable) < 2:
             return
+        chunks = self._group_by_trace(dispatchable)
+        store = self.trace_store
+        store_root = str(store.root) if store is not None and store.root is not None else None
         try:
-            pool = ProcessPoolExecutor(max_workers=min(n_workers, len(dispatchable)))
+            pool = ProcessPoolExecutor(max_workers=min(n_workers, len(chunks)))
         except (OSError, ValueError, NotImplementedError):
             self.stats.fallbacks += len(dispatchable)
             return
         wedged = False
         try:
             futures = []
-            for job in dispatchable:
-                payload = (job.spec.name, job.config, job.seed, job.scale, job.n_lanes)
+            for chunk in chunks:
+                payload = tuple(
+                    (job.spec.name, job.config, job.seed, job.scale, job.n_lanes)
+                    for job in chunk
+                )
                 try:
-                    futures.append((job, pool.submit(_worker, payload)))
+                    futures.append((chunk, pool.submit(_worker, store_root, payload)))
                 except Exception:
-                    self.stats.fallbacks += 1
-            for job, future in futures:
+                    self.stats.fallbacks += len(chunk)
+            for chunk, future in futures:
                 if wedged and not future.done():
                     # A worker already blew its deadline and may be wedged
                     # in its slot.  Waiting another full timeout per
                     # remaining future would serialize the damage, so only
                     # harvest results that are already in hand.
-                    self.stats.fallbacks += 1
+                    self.stats.fallbacks += len(chunk)
                     continue
                 try:
-                    results[job] = report_from_dict(future.result(timeout=self.timeout))
-                    self.stats.parallel_runs += 1
+                    started = perf_counter()
+                    encoded = future.result(timeout=self.timeout)
+                    for job, blob in zip(chunk, encoded):
+                        results[job] = report_from_dict(blob)
+                    self.stats.ipc_s += perf_counter() - started
+                    self.stats.parallel_runs += len(chunk)
+                    # every cell after a chunk's first replays its trace
+                    self.stats.trace_reused += max(0, len(chunk) - 1)
                 except FutureTimeoutError:
                     wedged = True
-                    self.stats.fallbacks += 1
+                    self.stats.fallbacks += len(chunk)
                 except Exception:
-                    self.stats.fallbacks += 1
+                    self.stats.fallbacks += len(chunk)
         finally:
             # Grab the process handles first: shutdown() clears _processes.
             processes = list((getattr(pool, "_processes", None) or {}).values())
@@ -207,12 +331,32 @@ class SweepRunner:
                     except (OSError, ValueError, AssertionError):
                         pass
 
-    def _run_serial(self, job: SweepJob) -> SimulationReport:
+    def _run_cell(self, job: SweepJob) -> SimulationReport:
+        """Run one cell in-process, sharing its trace through the store."""
+        trace = None
+        if is_registry_spec(job.spec):
+            store = self.trace_store
+            started = perf_counter()
+            trace, source = store.get_or_generate(
+                job.spec, job.config.n_gpus, job.seed, job.scale, job.n_lanes
+            )
+            elapsed = perf_counter() - started
+            if source == "generated":
+                self.stats.trace_gen_s += elapsed
+            else:
+                self.stats.trace_reused += 1
+                if source == "disk":
+                    self.stats.trace_store_hits += 1
+        return self._run_serial(job, trace)
+
+    def _run_serial(self, job: SweepJob, trace=None) -> SimulationReport:
         attempts = max(1, self.retries + 1)
         last_error: Exception | None = None
         for attempt in range(attempts):
             try:
-                report = execute_job(job)
+                started = perf_counter()
+                report = execute_job(job, trace=trace)
+                self.stats.simulate_s += perf_counter() - started
                 self.stats.serial_runs += 1
                 return report
             except Exception as exc:  # deterministic sims rarely recover, but
@@ -224,4 +368,10 @@ class SweepRunner:
         ) from last_error
 
 
-__all__ = ["SweepRunner", "SweepStats", "SweepError", "resolve_jobs"]
+__all__ = [
+    "AUTO_PARALLEL_MIN_CELLS",
+    "SweepRunner",
+    "SweepStats",
+    "SweepError",
+    "resolve_jobs",
+]

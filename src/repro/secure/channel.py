@@ -181,7 +181,7 @@ class UnsecureTransport(_TransportBase):
             self._send_faulty(packet, now)
             return
         arrival = self.topology.send(packet, now)
-        self.sim.schedule_at(
+        self.sim.post_at(
             arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
         )
 
@@ -209,7 +209,7 @@ class UnsecureTransport(_TransportBase):
             stats.delays_injected += 1
             self._note_fault(packet, "delay")
             arrival += self.cfg.fault.delay_cycles
-        self.sim.schedule_at(
+        self.sim.post_at(
             arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
         )
 
@@ -287,7 +287,7 @@ class SecureTransport(_TransportBase):
             # ``protect_requests`` enables that extension: control messages
             # then take the full secured path below.
             arrival = self.topology.send(packet, now)
-            self.sim.schedule_at(
+            self.sim.post_at(
                 arrival,
                 lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now)),
             )
@@ -316,7 +316,7 @@ class SecureTransport(_TransportBase):
                 meta += self.accountant.eager_block_mac_bytes()
             batch_ctx = grant
             if grant.opens_batch:
-                self.sim.schedule(
+                self.sim.post(
                     sec.batch_timeout,
                     lambda s=src, d=dst, b=grant.batch_id: self._batch_timeout(s, d, b),
                 )
@@ -361,7 +361,7 @@ class SecureTransport(_TransportBase):
             pending = _PendingMessage(packet, counter, batch_ctx, rto, launch_at)
             self._pending.setdefault((src, dst), {})[packet.pid] = pending
             self._counter_owner[(src, dst, counter)] = packet.pid
-        self.sim.schedule_at(
+        self.sim.post_at(
             launch_at,
             lambda p=packet, s=send_grant.receiver_synced, b=batch_ctx, c=counter: self._launch(
                 p, s, b, c
@@ -379,7 +379,7 @@ class SecureTransport(_TransportBase):
             self._launch_faulty(packet, synced, batch_ctx, counter)
             return
         arrival = self.topology.send(packet, self.sim.now)
-        self.sim.schedule_at(
+        self.sim.post_at(
             arrival,
             lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
         )
@@ -403,7 +403,7 @@ class SecureTransport(_TransportBase):
         elif verdict is FaultVerdict.CORRUPT:
             stats.corruptions_injected += 1
             self._note_fault(packet, "corrupt")
-            self.sim.schedule_at(
+            self.sim.post_at(
                 arrival,
                 lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(
                     p, s, b, c, corrupted=True
@@ -412,26 +412,26 @@ class SecureTransport(_TransportBase):
         elif verdict is FaultVerdict.DUPLICATE:
             stats.duplicates_injected += 1
             self._note_fault(packet, "duplicate")
-            self.sim.schedule_at(
+            self.sim.post_at(
                 arrival,
                 lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
             )
             # the replayed copy trails the original and burns bandwidth;
             # the receiver's counter check will reject it
             dup_arrival = self.topology.send(packet, arrival)
-            self.sim.schedule_at(
+            self.sim.post_at(
                 dup_arrival,
                 lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
             )
         elif verdict is FaultVerdict.DELAY:
             stats.delays_injected += 1
             self._note_fault(packet, "delay")
-            self.sim.schedule_at(
+            self.sim.post_at(
                 arrival + self.cfg.fault.delay_cycles,
                 lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
             )
         else:
-            self.sim.schedule_at(
+            self.sim.post_at(
                 arrival,
                 lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
             )
@@ -471,12 +471,12 @@ class SecureTransport(_TransportBase):
         verify = 0 if lazy else engine.mac_fast_path
         deliver_at = start + recv_grant.wait + engine.encrypt_fast_path + verify
         if corrupted:
-            self.sim.schedule_at(
+            self.sim.post_at(
                 deliver_at,
                 lambda p=packet, c=counter: self._corruption_detected(p, c),
             )
             return
-        self.sim.schedule_at(
+        self.sim.post_at(
             deliver_at,
             lambda p=packet, b=batch_ctx, c=counter: self._delivered(p, b, c),
         )
@@ -568,7 +568,7 @@ class SecureTransport(_TransportBase):
         self.batch_macs_sent += 1
         self._note_send(packet, self.sim.now)
         arrival = self.topology.send(packet, self.sim.now)
-        self.sim.schedule_at(
+        self.sim.post_at(
             arrival,
             lambda s=src, d=dst, b=batch_id, n=closed: self._batch_mac_arrived(s, d, b, n),
         )
@@ -600,7 +600,7 @@ class SecureTransport(_TransportBase):
         self.acks_sent += 1
         self._note_send(ack, self.sim.now)
         arrival = self.topology.send(ack, self.sim.now)
-        self.sim.schedule_at(
+        self.sim.post_at(
             arrival, lambda a=ack, c=counter, b=batch_id: self._ack_retire(a, c, b)
         )
 
@@ -699,7 +699,7 @@ class SecureTransport(_TransportBase):
         nack.meta_bytes = nack.size_bytes
         self._note_send(nack, self.sim.now)
         arrival = self.topology.send(nack, self.sim.now)
-        self.sim.schedule_at(
+        self.sim.post_at(
             arrival, lambda n=nack, c=counter: self._recover(n.dst, n.src, c, "nack")
         )
 
@@ -762,7 +762,7 @@ class SecureTransport(_TransportBase):
             + engine.mac_fast_path
             + engine.encrypt_fast_path
         )
-        self.sim.schedule_at(
+        self.sim.post_at(
             launch_at,
             lambda p=packet, s=send_grant.receiver_synced, b=pending.batch_ctx, c=counter: self._launch(
                 p, s, b, c

@@ -9,17 +9,29 @@ as an event scheduled at an absolute cycle.
 Events scheduled for the same cycle run in FIFO order of scheduling, which
 keeps runs fully deterministic for a fixed workload seed.
 
-The heap stores plain ``(time, seq, event)`` tuples rather than rich
-comparable objects: ``seq`` is unique, so every comparison resolves on the
-first one or two integer elements at C speed and the :class:`Event` handle
-itself is never compared.  The handle is a ``__slots__`` class that exists
-only to support cancellation and introspection.
+The heap stores plain ``(time, seq, item)`` tuples; ``seq`` is unique, so
+every comparison resolves on the first one or two integer elements at C
+speed.  ``item`` comes in two flavors, reflecting the two kinds of
+scheduling the components actually do:
+
+* a bare **callable** — the common case (``post``/``post_at``): a one-shot
+  callback that nothing will ever cancel.  No handle object is allocated
+  at all; the callable itself sits in the heap entry.
+* an :class:`Event` handle — the cancellable case (``schedule``/
+  ``schedule_at``): a ``__slots__`` object that exists only to support
+  cancellation and introspection (the GPU wakeup-timer pattern).
+
+Both flavors share one ``seq`` counter, so FIFO-per-cycle ordering holds
+across them.  The no-handle path skips an object allocation plus three
+attribute stores per event — at hundreds of thousands of events per cell,
+that is the difference measured by ``benchmarks/bench_sweep_runtime.py``.
 """
 
 from __future__ import annotations
 
+import gc
 from heapq import heappop, heappush
-from typing import Any, Callable
+from typing import Callable
 
 
 class SimulationError(RuntimeError):
@@ -27,7 +39,7 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """Handle for a single scheduled callback.
+    """Handle for a single *cancellable* scheduled callback.
 
     ``cancelled`` events stay in the heap but are skipped when popped
     (lazy deletion), which is cheaper than heap surgery.
@@ -51,7 +63,7 @@ class Event:
 
 
 class EventQueue:
-    """Priority queue of :class:`Event` with lazy cancellation.
+    """Priority queue of scheduled callbacks with lazy cancellation.
 
     ``pop`` and ``peek_time`` both compact the heap top eagerly: consecutive
     cancelled entries are dropped as soon as they surface, so a heap
@@ -62,7 +74,7 @@ class EventQueue:
     __slots__ = ("_heap", "_seq", "cancelled_dropped")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Event]] = []
+        self._heap: list[tuple[int, int, object]] = []
         self._seq = 0
         #: cancelled entries lazily discarded so far (pop, peek, run loop) —
         #: with ``pushes`` and the simulator's ``events_processed`` this is
@@ -79,34 +91,57 @@ class EventQueue:
 
     def live_events(self) -> int:
         """Number of non-cancelled entries (O(n); for tests/diagnostics)."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        return sum(
+            1
+            for entry in self._heap
+            if not (type(entry[2]) is Event and entry[2].cancelled)
+        )
 
     def push(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule a cancellable callback; returns its :class:`Event` handle."""
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, seq, callback)
         heappush(self._heap, (time, seq, event))
         return event
 
+    def push_callback(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule a fire-and-forget callback with no handle allocation.
+
+        This is the hot path: the callable itself is the heap payload.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, callback))
+
     def pop(self) -> Event | None:
-        """Pop the earliest non-cancelled event, or None if empty."""
+        """Pop the earliest live entry as an :class:`Event`, or None if empty.
+
+        Bare-callback entries are wrapped in a fresh handle on the way out —
+        this accessor serves ``step()`` and tests, not the run loop, which
+        works on the heap directly.
+        """
         heap = self._heap
         while heap:
-            event = heappop(heap)[2]
-            if not event.cancelled:
-                # Eager compaction: drain cancelled entries now at the top
-                # so the next pop/peek starts from a live event.
-                while heap and heap[0][2].cancelled:
-                    heappop(heap)
+            time, seq, item = heappop(heap)
+            if type(item) is Event:
+                if item.cancelled:
                     self.cancelled_dropped += 1
-                return event
-            self.cancelled_dropped += 1
+                    continue
+            else:
+                item = Event(time, seq, item)
+            # Eager compaction: drain cancelled entries now at the top
+            # so the next pop/peek starts from a live event.
+            while heap and type(heap[0][2]) is Event and heap[0][2].cancelled:
+                heappop(heap)
+                self.cancelled_dropped += 1
+            return item
         return None
 
     def peek_time(self) -> int | None:
         """Return the timestamp of the earliest live event without popping."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and type(heap[0][2]) is Event and heap[0][2].cancelled:
             heappop(heap)
             self.cancelled_dropped += 1
         if heap:
@@ -117,8 +152,10 @@ class EventQueue:
 class Simulator:
     """The simulation kernel: a clock plus an event queue.
 
-    Components hold a reference to the simulator and call :meth:`schedule`
-    (relative delay) or :meth:`schedule_at` (absolute cycle).  ``run`` drains
+    Components hold a reference to the simulator and call :meth:`post`
+    (relative delay, no handle) / :meth:`post_at` (absolute cycle, no
+    handle) on hot paths, or :meth:`schedule` / :meth:`schedule_at` when
+    they need a cancellable :class:`Event` handle back.  ``run`` drains
     the queue until it is empty or a cycle/event limit is hit.
     """
 
@@ -135,7 +172,7 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        """Schedule ``callback`` ``delay`` cycles from now; returns a handle."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} scheduled at cycle {self.now}")
         return self.queue.push(self.now + int(delay), callback)
@@ -145,6 +182,18 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"event scheduled in the past: {time} < now {self.now}")
         return self.queue.push(int(time), callback)
+
+    def post(self, delay: int, callback: Callable[[], None]) -> None:
+        """Hot-path :meth:`schedule`: no cancellation handle, no allocation."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} scheduled at cycle {self.now}")
+        self.queue.push_callback(self.now + int(delay), callback)
+
+    def post_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Hot-path :meth:`schedule_at`: no cancellation handle, no allocation."""
+        if time < self.now:
+            raise SimulationError(f"event scheduled in the past: {time} < now {self.now}")
+        self.queue.push_callback(int(time), callback)
 
     def add_end_hook(self, hook: Callable[[], None]) -> None:
         """Register a hook invoked once when the run finishes."""
@@ -160,22 +209,35 @@ class Simulator:
         locals — this is the hottest code in the repository (every simulated
         cycle of every sweep goes through it), and attribute lookups per
         event are measurable at that volume.
+
+        The cyclic garbage collector is paused for the duration of the
+        drain: the engine's own garbage (heap tuples, packets, lambdas) is
+        acyclic and freed by refcounting, so gen-0 scans during the run are
+        pure overhead.  The collector is restored — and run once — on exit,
+        so long-lived cycles created by a run are still reclaimed between
+        cells of a sweep.
         """
         heap = self.queue._heap
         pop = heappop
+        event_cls = Event
         max_cycles = self.max_cycles
         max_events = self.max_events
         processed = self.events_processed
         cancelled = 0
         self._running = True
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             while heap:
                 if max_events is not None and processed >= max_events:
                     break
-                time, _seq, event = pop(heap)
-                if event.cancelled:
-                    cancelled += 1
-                    continue
+                time, _seq, item = pop(heap)
+                if type(item) is event_cls:
+                    if item.cancelled:
+                        cancelled += 1
+                        continue
+                    item = item.callback
                 if max_cycles is not None and time > max_cycles:
                     break
                 if time < self.now:
@@ -184,8 +246,11 @@ class Simulator:
                     )
                 self.now = time
                 processed += 1
-                event.callback()
+                item()
         finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
             self.events_processed = processed
             self.queue.cancelled_dropped += cancelled
             self._running = False

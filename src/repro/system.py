@@ -30,6 +30,7 @@ from repro.secure.channel import SecureTransport, build_transport
 from repro.sim.engine import Simulator
 from repro.sim.stats import FaultStats
 from repro.workloads.base import WorkloadTrace
+from repro.workloads.compiled import CompiledTrace, ensure_compiled
 
 
 @dataclass
@@ -116,7 +117,7 @@ class MultiGpuSystem:
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
-    def _build_devices(self, trace: WorkloadTrace) -> None:
+    def _build_devices(self, trace: CompiledTrace) -> None:
         cfg = self.config
         self.page_table = PageTable(trace.initial_owners)
         policy = AccessCounterMigrationPolicy(
@@ -157,11 +158,14 @@ class MultiGpuSystem:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, trace: WorkloadTrace) -> SimulationReport:
+    def run(self, trace: WorkloadTrace | CompiledTrace) -> SimulationReport:
         if self._ran:
             raise RuntimeError("a MultiGpuSystem instance runs exactly one workload")
         self._ran = True
         with self.telemetry.phase("system.build"):
+            # Authoring-form traces are compiled here once; sweeps hand in an
+            # already-compiled (and possibly store-shared) trace directly.
+            trace = ensure_compiled(trace)
             trace.validate()
             self._build_devices(trace)
             for gpu in self.gpus.values():
@@ -174,7 +178,7 @@ class MultiGpuSystem:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def _report(self, trace: WorkloadTrace) -> SimulationReport:
+    def _report(self, trace: CompiledTrace) -> SimulationReport:
         finishes = {
             node: gpu.finish_cycle
             for node, gpu in self.gpus.items()
@@ -275,7 +279,9 @@ class MultiGpuSystem:
 
 
 def run_workload(
-    config: SystemConfig, trace: WorkloadTrace, telemetry: Telemetry | None = None
+    config: SystemConfig,
+    trace: WorkloadTrace | CompiledTrace,
+    telemetry: Telemetry | None = None,
 ) -> SimulationReport:
     """One-shot convenience wrapper."""
     return MultiGpuSystem(config, telemetry=telemetry).run(trace)

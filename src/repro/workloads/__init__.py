@@ -12,6 +12,12 @@ exchange); see ``docs/WORKLOADS.md`` for the full catalog.
 
 from repro.workloads.base import Access, AccessKind, GpuTrace, LaneTrace, WorkloadTrace
 from repro.workloads.builder import TraceBuilder
+from repro.workloads.compiled import (
+    CompiledTrace,
+    compile_trace,
+    ensure_compiled,
+    to_workload_trace,
+)
 from repro.workloads.collectives import CollectiveBuilder, training_step
 from repro.workloads.registry import (
     WorkloadSpec,
@@ -28,6 +34,10 @@ __all__ = [
     "GpuTrace",
     "LaneTrace",
     "WorkloadTrace",
+    "CompiledTrace",
+    "compile_trace",
+    "ensure_compiled",
+    "to_workload_trace",
     "TraceBuilder",
     "CollectiveBuilder",
     "training_step",

@@ -77,6 +77,12 @@ class WorkloadTrace:
     def total_instructions(self) -> int:
         return sum(t.instructions for t in self.gpu_traces.values())
 
+    def compile(self):
+        """Flatten into the array-backed replay form (see ``compiled.py``)."""
+        from repro.workloads.compiled import compile_trace
+
+        return compile_trace(self)
+
     def validate(self) -> None:
         """Sanity-check the trace against its own allocation map."""
         if not self.gpu_traces:

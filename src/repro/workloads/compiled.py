@@ -1,0 +1,283 @@
+"""Compiled trace layer: the immutable array-backed replay format.
+
+A :class:`~repro.workloads.base.WorkloadTrace` is the *authoring* format —
+per-lane lists of :class:`~repro.workloads.base.Access` objects, convenient
+for generators to emit.  It is a terrible *replay* format: a full-scale
+sweep touches millions of accesses and every one costs an object header,
+three attribute loads, and an enum comparison on the simulator's hottest
+path.
+
+:class:`CompiledTrace` is the replay format: per-(GPU, lane) parallel
+tuples of plain integers — ``gaps``, ``addrs``, ``writes`` — that the
+device pump indexes directly.  Compilation is lossless and reversible
+(property-tested in ``tests/test_compiled_trace.py``), so simulation
+results are bit-identical regardless of which form a trace passed through.
+
+Compiled traces also serialize compactly to ``.npz`` (one numpy array per
+per-GPU stream plus a JSON header), which is what the content-addressed
+trace store persists so a sweep generates each trace once and every scheme
+— and every pool worker — replays the same bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+
+import numpy as np
+
+from repro.workloads.base import Access, AccessKind, GpuTrace, WorkloadTrace
+
+#: Bump when the compiled layout (not the traced behavior) changes; folded
+#: into trace-store keys so old files simply stop being found.
+TRACE_SCHEMA = 1
+
+
+class CompiledLane:
+    """One lane's access stream as three parallel integer tuples."""
+
+    __slots__ = ("gaps", "addrs", "writes")
+
+    def __init__(
+        self, gaps: tuple[int, ...], addrs: tuple[int, ...], writes: tuple[int, ...]
+    ) -> None:
+        if not (len(gaps) == len(addrs) == len(writes)):
+            raise ValueError("lane streams must have equal length")
+        self.gaps = gaps
+        self.addrs = addrs
+        self.writes = writes
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CompiledLane)
+            and self.gaps == other.gaps
+            and self.addrs == other.addrs
+            and self.writes == other.writes
+        )
+
+    def __repr__(self) -> str:
+        return f"CompiledLane(n={len(self.gaps)})"
+
+
+class CompiledGpuTrace:
+    """All lanes of one GPU plus its instruction count."""
+
+    __slots__ = ("lanes", "instructions")
+
+    def __init__(self, lanes: tuple[CompiledLane, ...], instructions: int) -> None:
+        self.lanes = lanes
+        self.instructions = instructions
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CompiledGpuTrace)
+            and self.lanes == other.lanes
+            and self.instructions == other.instructions
+        )
+
+
+class CompiledTrace:
+    """A complete multi-GPU workload in replay form.  Immutable by contract:
+    the runner shares one instance across schemes and pool-worker memos, so
+    nothing downstream may mutate it."""
+
+    __slots__ = ("name", "gpu_traces", "pinned_pages", "initial_owners")
+
+    def __init__(
+        self,
+        name: str,
+        gpu_traces: dict[int, CompiledGpuTrace],
+        pinned_pages: frozenset[int],
+        initial_owners: dict[int, int],
+    ) -> None:
+        self.name = name
+        self.gpu_traces = gpu_traces
+        self.pinned_pages = pinned_pages
+        self.initial_owners = initial_owners
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(t.n_accesses for t in self.gpu_traces.values())
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.gpu_traces.values())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CompiledTrace)
+            and self.name == other.name
+            and self.gpu_traces == other.gpu_traces
+            and self.pinned_pages == other.pinned_pages
+            and self.initial_owners == other.initial_owners
+        )
+
+    def validate(self) -> None:
+        """Sanity-check the trace against its own allocation map."""
+        if not self.gpu_traces:
+            raise ValueError(f"workload {self.name} has no GPU traces")
+        if not self.initial_owners:
+            raise ValueError(f"workload {self.name} has no page ownership map")
+        from repro.memory.address_space import PAGE_BYTES
+
+        owners = self.initial_owners
+        for node, trace in self.gpu_traces.items():
+            for lane in trace.lanes:
+                for addr in lane.addrs:
+                    if addr // PAGE_BYTES not in owners:
+                        raise ValueError(
+                            f"workload {self.name}: GPU {node} touches unmapped "
+                            f"page {addr // PAGE_BYTES}"
+                        )
+
+
+# ---------------------------------------------------------------------------
+# Compilation (lossless, both directions)
+# ---------------------------------------------------------------------------
+def compile_trace(trace: WorkloadTrace) -> CompiledTrace:
+    """Flatten a WorkloadTrace into the array-backed replay form."""
+    gpu_traces: dict[int, CompiledGpuTrace] = {}
+    for node, gpu_trace in trace.gpu_traces.items():
+        lanes = []
+        for lane in gpu_trace.lanes:
+            gaps = tuple(a.gap for a in lane)
+            addrs = tuple(a.address for a in lane)
+            writes = tuple(1 if a.kind is AccessKind.WRITE else 0 for a in lane)
+            lanes.append(CompiledLane(gaps, addrs, writes))
+        gpu_traces[node] = CompiledGpuTrace(tuple(lanes), gpu_trace.instructions)
+    return CompiledTrace(
+        name=trace.name,
+        gpu_traces=gpu_traces,
+        pinned_pages=frozenset(trace.pinned_pages),
+        initial_owners=dict(trace.initial_owners),
+    )
+
+
+def to_workload_trace(compiled: CompiledTrace) -> WorkloadTrace:
+    """Reconstruct the authoring form (the exact inverse of compilation)."""
+    gpu_traces: dict[int, GpuTrace] = {}
+    for node, gpu_trace in compiled.gpu_traces.items():
+        lanes = []
+        for lane in gpu_trace.lanes:
+            lanes.append(
+                [
+                    Access(
+                        gap=gap,
+                        address=addr,
+                        kind=AccessKind.WRITE if write else AccessKind.READ,
+                    )
+                    for gap, addr, write in zip(lane.gaps, lane.addrs, lane.writes)
+                ]
+            )
+        gpu_traces[node] = GpuTrace(lanes=lanes, instructions=gpu_trace.instructions)
+    return WorkloadTrace(
+        name=compiled.name,
+        gpu_traces=gpu_traces,
+        pinned_pages=set(compiled.pinned_pages),
+        initial_owners=dict(compiled.initial_owners),
+    )
+
+
+def ensure_compiled(trace: WorkloadTrace | CompiledTrace) -> CompiledTrace:
+    """Accept either form; compile on the way in."""
+    if isinstance(trace, CompiledTrace):
+        return trace
+    return compile_trace(trace)
+
+
+# ---------------------------------------------------------------------------
+# Serialization: one .npz per trace (per-GPU concatenated streams + header)
+# ---------------------------------------------------------------------------
+def dump_bytes(compiled: CompiledTrace) -> bytes:
+    """Render a compiled trace to compact ``.npz`` bytes.
+
+    Lanes are concatenated per GPU into one ``gaps``/``addrs``/``writes``
+    array each plus a lane-boundary offset table — dozens of numpy arrays
+    instead of thousands of per-lane objects, and ``np.savez_compressed``
+    squeezes the redundancy out of the strided address streams.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "schema": TRACE_SCHEMA,
+        "name": compiled.name,
+        "pinned_pages": sorted(compiled.pinned_pages),
+        "initial_owners": {str(k): v for k, v in sorted(compiled.initial_owners.items())},
+        "gpus": {},
+    }
+    for node, gpu_trace in sorted(compiled.gpu_traces.items()):
+        bounds = [0]
+        for lane in gpu_trace.lanes:
+            bounds.append(bounds[-1] + len(lane))
+        gaps = [g for lane in gpu_trace.lanes for g in lane.gaps]
+        addrs = [a for lane in gpu_trace.lanes for a in lane.addrs]
+        writes = [w for lane in gpu_trace.lanes for w in lane.writes]
+        arrays[f"g{node}_gaps"] = np.asarray(gaps, dtype=np.int64)
+        arrays[f"g{node}_addrs"] = np.asarray(addrs, dtype=np.int64)
+        arrays[f"g{node}_writes"] = np.asarray(writes, dtype=np.int8)
+        arrays[f"g{node}_bounds"] = np.asarray(bounds, dtype=np.int64)
+        header["gpus"][str(node)] = {"instructions": gpu_trace.instructions}
+    arrays["header"] = np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def load_bytes(blob: bytes) -> CompiledTrace:
+    """Inverse of :func:`dump_bytes`.  Raises ``ValueError`` on any mismatch
+    (wrong schema, truncated file) so callers can treat it as a store miss."""
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+            if header.get("schema") != TRACE_SCHEMA:
+                raise ValueError(f"trace schema {header.get('schema')} != {TRACE_SCHEMA}")
+            gpu_traces: dict[int, CompiledGpuTrace] = {}
+            for node_str, meta in header["gpus"].items():
+                node = int(node_str)
+                gaps = data[f"g{node}_gaps"].tolist()
+                addrs = data[f"g{node}_addrs"].tolist()
+                writes = data[f"g{node}_writes"].tolist()
+                bounds = data[f"g{node}_bounds"].tolist()
+                lanes = tuple(
+                    CompiledLane(
+                        tuple(gaps[lo:hi]), tuple(addrs[lo:hi]), tuple(writes[lo:hi])
+                    )
+                    for lo, hi in zip(bounds, bounds[1:])
+                )
+                gpu_traces[node] = CompiledGpuTrace(lanes, int(meta["instructions"]))
+            return CompiledTrace(
+                name=header["name"],
+                gpu_traces=gpu_traces,
+                pinned_pages=frozenset(header["pinned_pages"]),
+                initial_owners={int(k): v for k, v in header["initial_owners"].items()},
+            )
+    except (
+        KeyError,
+        OSError,
+        EOFError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+    ) as exc:
+        raise ValueError(f"unreadable compiled trace: {exc}") from exc
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "CompiledLane",
+    "CompiledGpuTrace",
+    "CompiledTrace",
+    "compile_trace",
+    "to_workload_trace",
+    "ensure_compiled",
+    "dump_bytes",
+    "load_bytes",
+]

@@ -32,6 +32,18 @@ class FakeTransport:
         self.sim.schedule(self.delay, lambda: handler(packet, self.sim.now))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_trace_store(monkeypatch, tmp_path_factory):
+    """Point the on-disk trace store at a session-scoped temp dir.
+
+    Tests must not leave ``results/.tracestore`` artifacts in the working
+    tree; sharing one directory per session keeps cross-process store-hit
+    behavior testable.
+    """
+    root = tmp_path_factory.getbasetemp() / "tracestore"
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(root))
+
+
 @pytest.fixture
 def sim():
     return Simulator()

@@ -241,7 +241,7 @@ class TestDeterminismAndSerialization:
             for scheme in ("unsecure", "private", "batching")
         ]
         serial = SweepRunner(jobs=1).run_jobs(grid)
-        par_runner = SweepRunner(jobs=4)
+        par_runner = SweepRunner(jobs=4, mode="parallel")
         parallel = par_runner.run_jobs(grid)
         assert par_runner.stats.parallel_runs == len(grid)
 

@@ -328,7 +328,7 @@ class TestMetricsDeterminism:
     def test_serial_parallel_cached_metrics_bit_identical(self, tmp_path):
         grid = self._grid()
         serial = SweepRunner(jobs=1).run_jobs(grid)
-        parallel = SweepRunner(jobs=2).run_jobs(grid)
+        parallel = SweepRunner(jobs=2, mode="parallel").run_jobs(grid)
 
         cache = ResultCache(tmp_path / "cache")
         SweepRunner(jobs=1, cache=cache).run_jobs(grid)  # cold: populates

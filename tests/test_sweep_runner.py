@@ -48,9 +48,10 @@ class TestDeterminism:
         grid = _grid()
         serial = SweepRunner(jobs=1).run_jobs(grid)
 
-        par_runner = SweepRunner(jobs=4)
+        par_runner = SweepRunner(jobs=4, mode="parallel")
         parallel = par_runner.run_jobs(grid)
         assert par_runner.stats.parallel_runs == len(grid)
+        assert par_runner.stats.mode == "parallel"
 
         cache = ResultCache(tmp_path / "cache")
         SweepRunner(jobs=1, cache=cache).run_jobs(grid)  # cold: populates
@@ -186,11 +187,11 @@ class TestSweepMechanics:
         real = sweep_mod.execute_job
         calls = {"n": 0}
 
-        def flaky(j):
+        def flaky(j, **kw):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RuntimeError("transient")
-            return real(j)
+            return real(j, **kw)
 
         monkeypatch.setattr(sweep_mod, "execute_job", flaky)
         runner = SweepRunner(jobs=1, retries=1)
@@ -203,7 +204,9 @@ class TestSweepMechanics:
         from repro.runner import SweepError
 
         monkeypatch.setattr(
-            sweep_mod, "execute_job", lambda j: (_ for _ in ()).throw(RuntimeError("boom"))
+            sweep_mod,
+            "execute_job",
+            lambda j, **kw: (_ for _ in ()).throw(RuntimeError("boom")),
         )
         with pytest.raises(SweepError):
             SweepRunner(jobs=1, retries=1).run_jobs([_grid()[0]])
@@ -226,7 +229,7 @@ class TestSweepMechanics:
         assert report_from_dict(data["report"]).workload == "fir"
 
 
-def _hang_worker(payload):
+def _hang_worker(store_root, payload):
     """Stand-in worker that wedges its pool slot (see TestHungWorker)."""
     import time as _time
 
@@ -252,7 +255,7 @@ class TestHungWorker:
         jobs = _grid()[:2]
         expected = [report_to_dict(execute_job(job)) for job in jobs]
 
-        runner = SweepRunner(jobs=2, timeout=1.0)
+        runner = SweepRunner(jobs=2, timeout=1.0, mode="parallel")
         start = time.monotonic()
         reports = runner.run_jobs(jobs)
         elapsed = time.monotonic() - start
