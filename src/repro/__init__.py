@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.configs import (
+    AdversaryConfig,
     FaultConfig,
     GpuConfig,
     LinkConfig,
@@ -33,6 +34,8 @@ from repro.configs import (
 )
 from repro.interconnect.faults import LinkFailureError
 from repro.obs import MetricsRegistry, Telemetry
+from repro.secure.adversary import AttackKind, AttackReport
+from repro.secure.invariants import InvariantMonitor, InvariantViolationError
 from repro.system import MultiGpuSystem, OtpDistribution, SimulationReport, run_workload
 from repro.workloads import (
     TraceBuilder,
@@ -46,7 +49,12 @@ from repro.workloads import (
 __version__ = "1.3.0"
 
 __all__ = [
+    "AdversaryConfig",
+    "AttackKind",
+    "AttackReport",
     "FaultConfig",
+    "InvariantMonitor",
+    "InvariantViolationError",
     "MetricsRegistry",
     "Telemetry",
     "GpuConfig",

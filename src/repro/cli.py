@@ -32,6 +32,7 @@ EXPERIMENTS = {
     "fig21": ("repro.experiments.fig21_main_result", {"needs_runner": True}),
     "fig26": ("repro.experiments.fig26_aes_latency", {"needs_runner": True}),
     "fault": ("repro.experiments.fig_fault_sweep", {"needs_runner": True}),
+    "adversary": ("repro.experiments.fig_adversary", {"needs_runner": True}),
 }
 
 

@@ -184,6 +184,86 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class AdversaryConfig:
+    """Active in-fabric adversary: targeted attacks on secured data blocks.
+
+    Where :class:`FaultConfig` models *random* link failures, this models a
+    man-in-the-fabric who captures, mutates, re-injects, redirects, and
+    forges wire traffic.  Per data-block wire copy a single seeded roll
+    picks at most one attack (rates are mutually exclusive, sum <= 1):
+
+    * ``flip_cipher_rate`` — flip bits in the ciphertext payload,
+    * ``flip_mac_rate``    — flip bits in the attached MsgMAC tag,
+    * ``replay_rate``      — capture the block and re-inject an exact copy
+      ``replay_lag`` cycles later (same counter, same MAC),
+    * ``reorder_rate``     — hold the block ``reorder_lag`` cycles so later
+      counters overtake it (probes the ACK replay-window boundary),
+    * ``truncate_rate``    — cut the block short on the wire,
+    * ``splice_rate``      — redirect the block onto another directed link
+      (it arrives at the wrong receiver and never at the right one),
+    * ``forge_rate``       — inject a from-scratch fabricated block
+      alongside the legitimate one, under a counter the sender never used.
+
+    ``replay_window`` is the sender-side out-of-order ACK tolerance handed
+    to every :class:`~repro.secure.replay.ReplayGuard` while the adversary
+    is active (dormant configs keep the strict-FIFO default).  When
+    ``quarantine_threshold`` > 0, that many detections on one directed
+    link quarantine it: the :class:`~repro.interconnect.topology.Topology`
+    reroutes the pair over a memoized alternate path, escaping a
+    link-local attacker.
+
+    All randomness derives from ``seed`` via per-directed-pair generators
+    (the same bit-reproducibility contract as :class:`FaultConfig`).
+    """
+
+    flip_cipher_rate: float = 0.0
+    flip_mac_rate: float = 0.0
+    replay_rate: float = 0.0
+    reorder_rate: float = 0.0
+    truncate_rate: float = 0.0
+    splice_rate: float = 0.0
+    forge_rate: float = 0.0
+    seed: int = 0
+    replay_lag: int = 600  # cycles the attacker holds a captured copy
+    reorder_lag: int = 400  # extra cycles a reordered block is delayed
+    replay_window: int = 8  # sender-side out-of-order ACK tolerance
+    quarantine_threshold: int = 0  # detections per link before failover (0 = never)
+
+    _RATE_FIELDS = (
+        "flip_cipher_rate",
+        "flip_mac_rate",
+        "replay_rate",
+        "reorder_rate",
+        "truncate_rate",
+        "splice_rate",
+        "forge_rate",
+    )
+
+    def __post_init__(self) -> None:
+        rates = [getattr(self, name) for name in self._RATE_FIELDS]
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            raise ValueError("attack rates must be probabilities in [0, 1]")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError("combined attack rate cannot exceed 1")
+        if self.replay_lag < 0 or self.reorder_lag < 0:
+            raise ValueError("attack lags must be non-negative")
+        if self.replay_window < 0:
+            raise ValueError("replay_window must be non-negative")
+        if self.quarantine_threshold < 0:
+            raise ValueError("quarantine_threshold must be non-negative")
+
+    @property
+    def total_rate(self) -> float:
+        return sum(getattr(self, name) for name in self._RATE_FIELDS)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any attack can fire; False keeps every hot path (and
+        every cache key) identical to the adversary-free model."""
+        return self.total_rate > 0.0
+
+
+@dataclass(frozen=True)
 class MigrationConfig:
     """Access-counter page-migration policy parameters (§V-A)."""
 
@@ -202,6 +282,7 @@ class SystemConfig:
     security: SecurityConfig = field(default_factory=SecurityConfig)
     migration: MigrationConfig = field(default_factory=MigrationConfig)
     fault: FaultConfig = field(default_factory=FaultConfig)
+    adversary: AdversaryConfig = field(default_factory=AdversaryConfig)
     cpu_dram_latency: int = 220
     timeline_interval: int = 5000  # bucketing for Figs 13/14 series
 
@@ -219,6 +300,9 @@ class SystemConfig:
 
     def with_fault(self, **overrides) -> "SystemConfig":
         return replace(self, fault=replace(self.fault, **overrides))
+
+    def with_adversary(self, **overrides) -> "SystemConfig":
+        return replace(self, adversary=replace(self.adversary, **overrides))
 
 
 def default_config(n_gpus: int = 4, **security_overrides) -> SystemConfig:
@@ -249,6 +333,7 @@ __all__ = [
     "MetadataConfig",
     "SecurityConfig",
     "FaultConfig",
+    "AdversaryConfig",
     "MigrationConfig",
     "SystemConfig",
     "default_config",

@@ -98,7 +98,10 @@ class Topology:
         self._packets = self.stats.counter("packets")
         # The fabric is static after construction, so (src, dst) → stages is
         # memoized — path() runs once per pair instead of once per packet.
+        # quarantine() is the one sanctioned mutation: it *replaces* a
+        # pair's cache entry with a memoized alternate route.
         self._path_cache: dict[tuple[NodeId, NodeId], list[Channel]] = {}
+        self._quarantined: set[tuple[NodeId, NodeId]] = set()
 
     # ------------------------------------------------------------------
     # Queries
@@ -143,19 +146,85 @@ class Topology:
     def _ring_path(self, src: NodeId, dst: NodeId) -> list[Channel]:
         """Hop along the shorter ring direction through intermediate GPUs."""
         n = self.n_gpus
-        cw_hops = (dst - src) % n
-        ccw_hops = (src - dst) % n
+        clockwise = (dst - src) % n <= (src - dst) % n
+        return self._ring_walk(src, dst, clockwise=clockwise)
+
+    def _ring_walk(self, src: NodeId, dst: NodeId, clockwise: bool) -> list[Channel]:
+        n = self.n_gpus
+        hops = (dst - src) % n if clockwise else (src - dst) % n
         stages: list[Channel] = []
         node = src
-        if cw_hops <= ccw_hops:
-            for _ in range(cw_hops):
+        for _ in range(hops):
+            if clockwise:
                 stages.append(self._ring_cw[node])
                 node = 1 + (node % n)
-        else:
-            for _ in range(ccw_hops):
+            else:
                 stages.append(self._ring_ccw[node])
                 node = 1 + ((node - 2) % n)
         return stages
+
+    # ------------------------------------------------------------------
+    # Quarantine / failover
+    # ------------------------------------------------------------------
+    def quarantine(self, src: NodeId, dst: NodeId) -> bool:
+        """Take the (src → dst) direct route out of service.
+
+        Called when repeated attack detections implicate the pair's
+        physical wire.  The pair's memoized path is replaced by an
+        alternate route that avoids the direct link, so subsequent sends
+        (including in-flight recovery retransmissions) detour around the
+        compromised segment.  Returns False — and changes nothing — when
+        no alternate exists (e.g. CPU↔GPU traffic owns exactly one shared
+        PCIe bus); callers then stay on the guarded direct route.
+        """
+        if (src, dst) in self._quarantined:
+            return True
+        alt = self._alternate_path(src, dst)
+        if alt is None:
+            return False
+        self._quarantined.add((src, dst))
+        self._path_cache[(src, dst)] = alt
+        return True
+
+    def is_quarantined(self, src: NodeId, dst: NodeId) -> bool:
+        return (src, dst) in self._quarantined
+
+    def _alternate_path(self, src: NodeId, dst: NodeId) -> list[Channel] | None:
+        """A route (src → dst) avoiding the pair's direct fabric segment."""
+        self._validate(src)
+        self._validate(dst)
+        if src == dst:
+            raise ValueError("no path from a node to itself")
+        if src == CPU_NODE or dst == CPU_NODE:
+            return None  # one shared PCIe bus per direction: nothing to fail over to
+        via = next((g for g in self.gpu_nodes() if g != src and g != dst), None)
+        if self.fabric == "ring":
+            # The other ring direction reaches dst over disjoint segments.
+            n = self.n_gpus
+            clockwise = (dst - src) % n <= (src - dst) % n
+            return self._ring_walk(src, dst, clockwise=not clockwise)
+        if self.fabric == "switch":
+            if via is None:
+                return [self._nv_egress[src], self._pcie_up, self._pcie_down, self._nv_ingress[dst]]
+            # Double switch transit: store-and-forward through an
+            # intermediate GPU's ports, avoiding the direct crossing.
+            return [
+                self._nv_egress[src],
+                self._switch,
+                self._nv_ingress[via],
+                self._nv_egress[via],
+                self._switch,
+                self._nv_ingress[dst],
+            ]
+        # p2p: relay through a third GPU, or detour over the host bus.
+        if via is None:
+            return [self._nv_egress[src], self._pcie_up, self._pcie_down, self._nv_ingress[dst]]
+        return [
+            self._nv_egress[src],
+            self._nv_ingress[via],
+            self._nv_egress[via],
+            self._nv_ingress[dst],
+        ]
 
     def hop_count(self, src: NodeId, dst: NodeId) -> int:
         """Number of serialized stages a message crosses."""

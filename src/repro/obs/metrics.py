@@ -40,6 +40,7 @@ KNOWN_NAMESPACES = frozenset(
         "alloc",    # dynamic-allocator adjustment activity
         "burst",    # data-block burst-accumulation histograms
         "fault",    # injected faults and recovery events
+        "adv",      # adversarial attacks, detections, and quarantines
         "engine",   # event-engine push/pop/cancel profile
         "cache",    # sweep-runner cache activity
         "trace",    # trace-store reuse (runner-side; never in a report)

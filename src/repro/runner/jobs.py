@@ -84,6 +84,23 @@ def job_key(job: SweepJob) -> str | None:
         for rate in ("drop_rate", "corrupt_rate", "duplicate_rate", "delay_rate")
     ):
         config_material["fault"] = fault
+    # Same contract for the adversary section: dormant (all-zero-rate)
+    # AdversaryConfigs leave the hash — and therefore every existing cache
+    # entry — untouched.
+    adversary = config_material.pop("adversary", None)
+    if adversary is not None and any(
+        adversary.get(rate, 0.0)
+        for rate in (
+            "flip_cipher_rate",
+            "flip_mac_rate",
+            "replay_rate",
+            "reorder_rate",
+            "truncate_rate",
+            "splice_rate",
+            "forge_rate",
+        )
+    ):
+        config_material["adversary"] = adversary
     material = {
         "schema": KEY_SCHEMA,
         "salt": cache_salt(),

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.secure.adversary import AttackReport
 from repro.sim.stats import FaultStats, IntervalSeries
 from repro.system import OtpDistribution, SimulationReport
 
@@ -71,10 +72,13 @@ def report_to_dict(report: SimulationReport) -> dict[str, Any]:
         # the cache and the pool boundary round-trip it bit-identically.
         "metrics": report.metrics,
     }
-    # Optional key, present only under fault injection: fault-free reports
-    # stay byte-identical to the pre-fault layout (and to schema 1 readers).
+    # Optional keys, present only under fault injection / an active
+    # adversary: clean reports stay byte-identical to the earlier layouts
+    # (and to schema 1 readers).
     if report.fault_stats is not None:
         out["fault_stats"] = report.fault_stats.as_dict()
+    if report.attack_report is not None:
+        out["attack_report"] = report.attack_report.as_dict()
     return out
 
 
@@ -102,6 +106,9 @@ def report_from_dict(data: dict[str, Any]) -> SimulationReport:
         timelines={int(node): series_from_dict(s) for node, s in data["timelines"].items()},
         events_processed=data["events_processed"],
         fault_stats=FaultStats(**data["fault_stats"]) if "fault_stats" in data else None,
+        attack_report=(
+            AttackReport.from_dict(data["attack_report"]) if "attack_report" in data else None
+        ),
         metrics=data["metrics"],
     )
 

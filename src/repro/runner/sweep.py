@@ -49,11 +49,12 @@ cell provenance, trace-reuse counts, and a parent-side wall-clock split
 
 from __future__ import annotations
 
+import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any, Sequence
 
 from repro.obs import Telemetry
@@ -147,9 +148,16 @@ class SweepStats:
     trace_gen_s: float = 0.0
     simulate_s: float = 0.0
     ipc_s: float = 0.0
+    #: structured per-cell failure manifest: one entry per cell that needed
+    #: more than one attempt, in the shape
+    #: ``{"cell", "attempts", "rescued", "backoff_s", "errors": [...]}``
+    #: where each error is ``{"attempt", "type", "message"}``.
+    failures: list = field(default_factory=list)
 
-    def as_dict(self) -> dict[str, int | float | str]:
-        return dict(self.__dict__)
+    def as_dict(self) -> dict[str, int | float | str | list]:
+        out = dict(self.__dict__)
+        out["failures"] = [dict(entry) for entry in self.failures]
+        return out
 
 
 @dataclass
@@ -161,6 +169,13 @@ class SweepRunner:
     ``timeout``      seconds before the parent gives up on a pool chunk and
                      re-runs its cells serially (None = wait forever)
     ``retries``      extra serial attempts per cell after its first failure
+    ``retry_backoff``       base sleep (seconds) before the first retry of a
+                            cell; doubles per attempt up to
+                            ``retry_backoff_max``.  A small deterministic
+                            jitter derived from the cell description is
+                            added so simultaneous sweeps retrying against a
+                            shared resource (disk cache, trace store) don't
+                            stampede in lockstep.  0 disables sleeping.
     ``mode``         ``"auto"`` (default) / ``"serial"`` / ``"parallel"``;
                      auto picks serial for small grids and single-CPU hosts
     ``trace_store``  :class:`TraceStore` for cross-scheme trace sharing;
@@ -171,6 +186,8 @@ class SweepRunner:
     cache: ResultCache | None = None
     timeout: float | None = None
     retries: int = 1
+    retry_backoff: float = 0.05
+    retry_backoff_max: float = 2.0
     mode: str = "auto"
     trace_store: TraceStore | None = None
     stats: SweepStats = field(default_factory=SweepStats)
@@ -349,20 +366,66 @@ class SweepRunner:
                     self.stats.trace_store_hits += 1
         return self._run_serial(job, trace)
 
+    def _retry_delay(self, job: SweepJob, attempt: int) -> float:
+        """Exponential backoff with deterministic, cell-derived jitter.
+
+        ``base * 2**attempt`` capped at ``retry_backoff_max``, plus up to
+        25% jitter seeded from sha256 of ``"{cell}:{attempt}"`` — stable
+        across runs (no wall-clock entropy) but decorrelated across cells.
+        """
+        if self.retry_backoff <= 0:
+            return 0.0
+        delay = min(self.retry_backoff * (2**attempt), self.retry_backoff_max)
+        digest = hashlib.sha256(f"{job.describe()}:{attempt}".encode()).digest()
+        jitter = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+        return delay * (1.0 + 0.25 * jitter)
+
     def _run_serial(self, job: SweepJob, trace=None) -> SimulationReport:
         attempts = max(1, self.retries + 1)
         last_error: Exception | None = None
+        errors: list[dict[str, int | str]] = []
+        backoff_total = 0.0
         for attempt in range(attempts):
             try:
                 started = perf_counter()
                 report = execute_job(job, trace=trace)
                 self.stats.simulate_s += perf_counter() - started
                 self.stats.serial_runs += 1
+                if errors:
+                    self.stats.failures.append(
+                        {
+                            "cell": job.describe(),
+                            "attempts": attempt + 1,
+                            "rescued": True,
+                            "backoff_s": round(backoff_total, 6),
+                            "errors": errors,
+                        }
+                    )
                 return report
             except Exception as exc:  # deterministic sims rarely recover, but
                 last_error = exc  # a retry costs little next to a lost sweep
+                errors.append(
+                    {
+                        "attempt": attempt + 1,
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                )
                 if attempt + 1 < attempts:
                     self.stats.retries += 1
+                    delay = self._retry_delay(job, attempt)
+                    if delay > 0:
+                        backoff_total += delay
+                        sleep(delay)
+        self.stats.failures.append(
+            {
+                "cell": job.describe(),
+                "attempts": attempts,
+                "rescued": False,
+                "backoff_s": round(backoff_total, 6),
+                "errors": errors,
+            }
+        )
         raise SweepError(
             f"sweep cell {job.describe()} failed after {attempts} attempt(s)"
         ) from last_error

@@ -7,7 +7,9 @@ device messages over the interconnect with all security costs applied.
 """
 
 from repro.secure.otp_buffer import PadOutcome, PadGrant, PadStream
+from repro.secure.adversary import AdversaryInjector, AttackKind, AttackReport
 from repro.secure.engine import AesGcmEngineModel
+from repro.secure.invariants import InvariantMonitor, InvariantViolationError
 from repro.secure.metadata import MetadataAccountant
 from repro.secure.replay import ReplayGuard
 from repro.secure.channel import SecureTransport, UnsecureTransport, build_transport
@@ -17,7 +19,12 @@ __all__ = [
     "PadOutcome",
     "PadGrant",
     "PadStream",
+    "AdversaryInjector",
+    "AttackKind",
+    "AttackReport",
     "AesGcmEngineModel",
+    "InvariantMonitor",
+    "InvariantViolationError",
     "MetadataAccountant",
     "ReplayGuard",
     "SecureTransport",

@@ -1,0 +1,258 @@
+"""Active in-fabric adversary: seeded attack injection on wire traffic.
+
+Random link faults (:mod:`repro.interconnect.faults`) shake the channel;
+this module *attacks* it.  An :class:`AdversaryInjector` sits on the
+delivery path of both transports and, per secured data-block wire copy,
+rolls one of seven attacks (see :class:`~repro.configs.AdversaryConfig`):
+ciphertext bit-flip, MAC bit-flip, whole-block replay, counter-window
+reorder, truncation, cross-link splice, and forge-from-scratch.
+
+The attacker is *link-local*: it owns one (or more) directed wires and can
+capture, mutate, re-inject, redirect, and fabricate traffic on them, but
+it holds no keys and no pads — every mutated or fabricated block fails the
+receiver's MsgMAC.  That asymmetry is the whole experiment: the secure
+schemes turn all seven attacks into detections (and recover via the PR-2
+ARQ machinery), while the unsecure fabric consumes attacker-controlled
+bytes silently.  :class:`AttackReport` keeps the per-attack ledger the
+zero-undetected contract is asserted against.
+
+Determinism matches the fault injector: one ``random.Random`` per directed
+pair, seeded from ``(config seed, src, dst)``, rolled once per wire copy in
+transmission order — verdicts never depend on cross-pair interleaving, so
+reports stay bit-identical across serial / parallel / cached execution.
+
+Quarantine interacts with the injector through :meth:`on_quarantine`:
+once a directed link is rerouted, the attacker sitting on the physical
+wire loses access to that pair's traffic and ``decide`` stops attacking it
+(without consuming rolls, which keeps the surviving pairs' streams
+aligned).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.configs import AdversaryConfig
+
+
+class AttackKind(Enum):
+    """One attacker action against a single wire copy."""
+
+    FLIP_CIPHER = "flip_cipher"  # ciphertext bit-flip
+    FLIP_MAC = "flip_mac"  # MAC-tag bit-flip
+    REPLAY = "replay"  # exact re-injection of a captured block
+    REORDER = "reorder"  # held back so later counters overtake
+    TRUNCATE = "truncate"  # block cut short on the wire
+    SPLICE = "splice"  # redirected onto another directed link
+    FORGE = "forge"  # fabricated from scratch, no captured material
+
+
+#: Attacks that mutate the authenticated material of an existing block —
+#: a secure receiver must reject every one of them at MsgMAC verification.
+TAMPER_KINDS = frozenset(
+    {AttackKind.FLIP_CIPHER, AttackKind.FLIP_MAC, AttackKind.TRUNCATE,
+     AttackKind.SPLICE, AttackKind.FORGE}
+)
+
+#: Attack kinds whose injected copy carries a counter the receiver may
+#: legitimately see again (alien or fabricated) — never added to the
+#: receiver's seen-set, so they cannot poison later legitimate traffic.
+ALIEN_KINDS = frozenset({AttackKind.SPLICE, AttackKind.FORGE})
+
+_KIND_ORDER = (
+    AttackKind.FLIP_CIPHER,
+    AttackKind.FLIP_MAC,
+    AttackKind.REPLAY,
+    AttackKind.REORDER,
+    AttackKind.TRUNCATE,
+    AttackKind.SPLICE,
+    AttackKind.FORGE,
+)
+
+_KIND_RATES = {
+    AttackKind.FLIP_CIPHER: "flip_cipher_rate",
+    AttackKind.FLIP_MAC: "flip_mac_rate",
+    AttackKind.REPLAY: "replay_rate",
+    AttackKind.REORDER: "reorder_rate",
+    AttackKind.TRUNCATE: "truncate_rate",
+    AttackKind.SPLICE: "splice_rate",
+    AttackKind.FORGE: "forge_rate",
+}
+
+
+class AdversaryInjector:
+    """Seeded per-pair attack verdicts for every data-block wire copy."""
+
+    __slots__ = ("cfg", "_rngs", "_nodes", "_quarantined")
+
+    def __init__(self, cfg: AdversaryConfig, nodes: list[int]) -> None:
+        self.cfg = cfg
+        self._rngs: dict[tuple[int, int], random.Random] = {}
+        self._nodes = list(nodes)
+        self._quarantined: set[tuple[int, int]] = set()
+
+    def _rng(self, src: int, dst: int) -> random.Random:
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            # String seeding hashes through SHA-512: stable across processes
+            # and Python versions (same scheme as the fault injector).
+            rng = random.Random(f"adv:{self.cfg.seed}:{src}->{dst}")
+            self._rngs[key] = rng
+        return rng
+
+    def decide(self, src: int, dst: int) -> AttackKind | None:
+        """Roll the attacker's action on one (src -> dst) wire copy.
+
+        Quarantined pairs are never attacked *and never rolled*: the
+        traffic left the compromised wire, so the attacker cannot even
+        observe it.  Skipping the roll (rather than discarding it) keeps
+        the pair's verdict stream a pure function of its pre-quarantine
+        transmission count.
+        """
+        if (src, dst) in self._quarantined:
+            return None
+        roll = self._rng(src, dst).random()
+        cfg = self.cfg
+        for kind in _KIND_ORDER:
+            rate = getattr(cfg, _KIND_RATES[kind])
+            if roll < rate:
+                if kind is AttackKind.SPLICE and self.splice_target(src, dst) is None:
+                    # Nowhere to redirect (two-node fabric): the capture
+                    # degrades to in-place tampering.
+                    return AttackKind.FLIP_CIPHER
+                return kind
+            roll -= rate
+        return None
+
+    def splice_target(self, src: int, dst: int) -> int | None:
+        """Deterministic third node a spliced (src -> dst) block lands on."""
+        for node in self._nodes:
+            if node != src and node != dst:
+                return node
+        return None
+
+    def on_quarantine(self, src: int, dst: int) -> None:
+        """The (src -> dst) pair was rerouted off the attacker's wire."""
+        self._quarantined.add((src, dst))
+
+    @property
+    def quarantined_pairs(self) -> set[tuple[int, int]]:
+        return set(self._quarantined)
+
+
+@dataclass
+class AttackReport:
+    """Per-attack ledger: what the adversary did and what became of it.
+
+    Every injected attack is eventually resolved into exactly one bucket:
+
+    * ``detected`` — the secure machinery caught it (MsgMAC reject,
+      counter replay check) and, where applicable, recovered,
+    * ``harmless`` — the attack fired but the system absorbed it without
+      a detection being *needed* (a reordered block that still delivered
+      exactly once, a replay whose original was already lost to a fault),
+    * ``accepted`` — attacker-influenced data reached a consuming device
+      unnoticed.  This is the silent-compromise count: the zero-undetected
+      contract asserts it stays 0 on every secure scheme, and the unsecure
+      fabric's nonzero count is the asymmetry being measured.
+    """
+
+    injected: dict[str, int] = field(default_factory=dict)
+    detected: dict[str, int] = field(default_factory=dict)
+    harmless: dict[str, int] = field(default_factory=dict)
+    accepted: dict[str, int] = field(default_factory=dict)
+    #: directed links quarantined after repeated detections
+    quarantined: list[list[int]] = field(default_factory=list)
+
+    @staticmethod
+    def _bump(ledger: dict[str, int], kind: "AttackKind | str") -> None:
+        key = kind.value if isinstance(kind, AttackKind) else str(kind)
+        ledger[key] = ledger.get(key, 0) + 1
+
+    def note_injected(self, kind: AttackKind | str) -> None:
+        self._bump(self.injected, kind)
+
+    def note_detected(self, kind: AttackKind | str) -> None:
+        self._bump(self.detected, kind)
+
+    def note_harmless(self, kind: AttackKind | str) -> None:
+        self._bump(self.harmless, kind)
+
+    def note_accepted(self, kind: AttackKind | str) -> None:
+        self._bump(self.accepted, kind)
+
+    def note_quarantined(self, src: int, dst: int) -> None:
+        self.quarantined.append([src, dst])
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_detected(self) -> int:
+        return sum(self.detected.values())
+
+    @property
+    def total_harmless(self) -> int:
+        return sum(self.harmless.values())
+
+    @property
+    def accepted_undetected(self) -> int:
+        """Attacks that reached a device without anyone noticing."""
+        return sum(self.accepted.values())
+
+    @property
+    def unresolved(self) -> int:
+        """Injected attacks not yet settled into any outcome bucket.
+
+        Nonzero after a completed run would mean an attack's outcome event
+        never fired — the invariant monitor treats that as a violation.
+        """
+        return (
+            self.total_injected
+            - self.total_detected
+            - self.total_harmless
+            - self.accepted_undetected
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": dict(sorted(self.injected.items())),
+            "detected": dict(sorted(self.detected.items())),
+            "harmless": dict(sorted(self.harmless.items())),
+            "accepted": dict(sorted(self.accepted.items())),
+            "quarantined": [list(pair) for pair in self.quarantined],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackReport":
+        return cls(
+            injected=dict(data.get("injected", {})),
+            detected=dict(data.get("detected", {})),
+            harmless=dict(data.get("harmless", {})),
+            accepted=dict(data.get("accepted", {})),
+            quarantined=[list(pair) for pair in data.get("quarantined", [])],
+        )
+
+    def merge(self, other: "AttackReport") -> None:
+        for mine, theirs in (
+            (self.injected, other.injected),
+            (self.detected, other.detected),
+            (self.harmless, other.harmless),
+            (self.accepted, other.accepted),
+        ):
+            for key, val in theirs.items():
+                mine[key] = mine.get(key, 0) + val
+        self.quarantined.extend(list(pair) for pair in other.quarantined)
+
+
+__all__ = [
+    "AttackKind",
+    "AdversaryInjector",
+    "AttackReport",
+    "TAMPER_KINDS",
+    "ALIEN_KINDS",
+]

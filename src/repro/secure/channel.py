@@ -34,7 +34,15 @@ from repro.interconnect.faults import FaultInjector, FaultVerdict, LinkFailureEr
 from repro.interconnect.packet import Packet, PacketKind
 from repro.interconnect.topology import Topology
 from repro.obs import Telemetry
+from repro.secure.adversary import (
+    ALIEN_KINDS,
+    TAMPER_KINDS,
+    AdversaryInjector,
+    AttackKind,
+    AttackReport,
+)
 from repro.secure.engine import AesGcmEngineModel
+from repro.secure.invariants import InvariantMonitor
 from repro.secure.metadata import MetadataAccountant
 from repro.secure.replay import ReplayGuard
 from repro.secure.schemes import build_scheme
@@ -100,10 +108,20 @@ class _TransportBase:
         self._burst_state: dict[tuple[int, int], list[int]] = {}
         self.messages_sent = 0
         self.data_blocks = 0
-        # Fault injection is strictly opt-in: with every rate at zero the
-        # injector is absent and the clean-channel paths run unchanged.
+        # Fault injection and the active adversary are strictly opt-in:
+        # with every rate at zero the injector is absent and the
+        # clean-channel paths run unchanged (bit-identical reports).
         self.fault_injector = FaultInjector(cfg.fault) if cfg.fault.enabled else None
         self.fault_stats = FaultStats() if self.fault_injector is not None else None
+        self.adversary = (
+            AdversaryInjector(cfg.adversary, topology.nodes())
+            if cfg.adversary.enabled
+            else None
+        )
+        self.attack_report = AttackReport() if self.adversary is not None else None
+        #: recovery machinery (pending table, RTO timers, dedup sets) arms
+        #: whenever *either* hostile layer is active
+        self._recovery = self.fault_injector is not None or self.adversary is not None
 
     # ------------------------------------------------------------------
     # Registry
@@ -130,6 +148,14 @@ class _TransportBase:
         the telemetry-level statement that the link stayed clean.
         """
         self.telemetry.counter(f"fault.{event.replace('-', '_')}").add()
+
+    def _note_adv(self, event: str) -> None:
+        """Observation hook for adversary/defense events.
+
+        Only ever invoked under an active adversary, so attack-free runs
+        create no ``adv.*`` metrics — mirroring the ``fault.*`` contract.
+        """
+        self.telemetry.counter(f"adv.{event.replace('-', '_')}").add()
 
     def _note_send(self, packet: Packet, now: int) -> None:
         self.messages_sent += 1
@@ -177,16 +203,20 @@ class UnsecureTransport(_TransportBase):
 
     def send(self, packet: Packet, now: int) -> None:
         self._note_send(packet, now)
-        if self.fault_injector is not None and packet.kind.carries_data:
-            self._send_faulty(packet, now)
+        if self._recovery and packet.kind.carries_data:
+            self._send_guarded(packet, now)
             return
         arrival = self.topology.send(packet, now)
         self.sim.post_at(
             arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
         )
 
-    def _send_faulty(self, packet: Packet, now: int) -> None:
-        verdict = self.fault_injector.decide(packet.src, packet.dst)
+    def _send_guarded(self, packet: Packet, now: int) -> None:
+        verdict = (
+            self.fault_injector.decide(packet.src, packet.dst)
+            if self.fault_injector is not None
+            else FaultVerdict.OK
+        )
         stats = self.fault_stats
         arrival = self.topology.send(packet, now)
         if verdict is FaultVerdict.DROP:
@@ -209,9 +239,61 @@ class UnsecureTransport(_TransportBase):
             stats.delays_injected += 1
             self._note_fault(packet, "delay")
             arrival += self.cfg.fault.delay_cycles
+        if self.adversary is not None:
+            attack = self.adversary.decide(packet.src, packet.dst)
+            if attack is not None and verdict not in (FaultVerdict.DROP, FaultVerdict.CORRUPT):
+                arrival = self._unsecure_attack(packet, attack, arrival)
         self.sim.post_at(
             arrival, lambda p=packet: (self._note_arrival(p, self.sim.now), self._deliver(p, self.sim.now))
         )
+
+    def _unsecure_attack(self, packet: Packet, attack: AttackKind, arrival: int) -> int:
+        """Apply one attack to an unprotected wire copy.
+
+        The unsecure fabric has *no detection*: every attacker-controlled
+        byte that a device consumes lands in ``accepted`` — the silent-
+        compromise count the secure schemes drive to zero.  Delivery
+        follows the fault model's deliver-but-count philosophy: the
+        packet object still reaches its handler on schedule (the device
+        consumes garbage without noticing), while the ledger records what
+        actually happened on the wire.
+        """
+        report = self.attack_report
+        report.note_injected(attack)
+        self._note_adv(f"{attack.value}_injected")
+        adv = self.cfg.adversary
+        if attack is AttackKind.REORDER:
+            # Late but intact: nothing attacker-controlled is consumed.
+            report.note_harmless(attack)
+            self._note_adv("reorder_absorbed")
+            return arrival + adv.reorder_lag
+        report.note_accepted(attack)
+        self._note_adv("accepted")
+        if attack is AttackKind.REPLAY:
+            # The re-injected copy burns bandwidth and re-applies stale
+            # data at the receiver's interface.
+            self.topology.send(packet, arrival + adv.replay_lag)
+        elif attack is AttackKind.SPLICE:
+            # Redirected onto a third node's link: garbage consumed there.
+            target = self.adversary.splice_target(packet.src, packet.dst)
+            spliced = Packet(
+                kind=packet.kind,
+                src=packet.src,
+                dst=target,
+                size_bytes=packet.size_bytes,
+                meta_bytes=packet.meta_bytes,
+            )
+            self.topology.send(spliced, arrival)
+        elif attack is AttackKind.FORGE:
+            forged = Packet(
+                kind=packet.kind,
+                src=packet.src,
+                dst=packet.dst,
+                size_bytes=packet.size_bytes,
+                meta_bytes=packet.meta_bytes,
+            )
+            self.topology.send(forged, arrival)
+        return arrival
 
 
 class SecureTransport(_TransportBase):
@@ -234,13 +316,17 @@ class SecureTransport(_TransportBase):
         self.guards: dict[int, ReplayGuard] = {}
         self.batchers: dict[int, BatchingController] = {}
         self.mac_storage: dict[int, MsgMacStorage] = {}
+        # Under an active adversary the replay guards tolerate in-window
+        # ACK reordering (held-back blocks deliver late but legitimately);
+        # dormant configs keep the strict-FIFO default.
+        guard_window = cfg.adversary.replay_window if self.adversary is not None else 0
         for node in topology.nodes():
             engine = AesGcmEngineModel(sec.aes_gcm_latency, sec.ghash_latency, sec.xor_latency)
             self.engines[node] = engine
             self.schemes[node] = build_scheme(
                 sec.scheme, node, topology.peers_of(node), sec, engine
             )
-            self.guards[node] = ReplayGuard(node)
+            self.guards[node] = ReplayGuard(node, window=guard_window)
             if sec.batching:
                 self.batchers[node] = BatchingController(
                     sec.metadata, sec.batch_size, sec.batch_timeout
@@ -270,6 +356,13 @@ class SecureTransport(_TransportBase):
         self._counter_owner: dict[tuple[int, int, int], int] = {}
         self._recv_seen: dict[tuple[int, int], set[int]] = {}
         self._delivered_pids: dict[tuple[int, int], set[int]] = {}
+        # Adversary-side state: the runtime invariant sanitizer, per-pair
+        # detection counts feeding quarantine, and the fabricated-counter
+        # sequence forged blocks arrive under (negative: disjoint from any
+        # counter a sender can ever issue).
+        self.monitor = InvariantMonitor() if self.adversary is not None else None
+        self._adv_detections: dict[tuple[int, int], int] = {}
+        self._forge_seq = 0
 
     # ------------------------------------------------------------------
     # Send path
@@ -305,13 +398,15 @@ class SecureTransport(_TransportBase):
         send_grant = self.schemes[src].acquire_send(dst, start, demand=demand)
         self._send_crypto_busy[(src, dst)] = start + send_grant.grant.wait
         counter = self._next_counter(src, dst)
+        if self.monitor is not None:
+            self.monitor.on_send_pad(src, dst, counter)
 
         batch_ctx = None
         if sec.batching and self.accountant.batchable(packet.kind):
             grant = self.batchers[src].add_block(dst, now)
             meta = self.accountant.batched_block_meta(grant.opens_batch, grant.closes_batch)
-            if self.fault_injector is not None:
-                # Fault-hardened batching verifies every block eagerly, so
+            if self._recovery:
+                # Hostile-channel batching verifies every block eagerly, so
                 # each block keeps its own MsgMAC on the wire.
                 meta += self.accountant.eager_block_mac_bytes()
             batch_ctx = grant
@@ -351,7 +446,7 @@ class SecureTransport(_TransportBase):
             + engine.mac_fast_path
             + engine.encrypt_fast_path
         )
-        if self.fault_injector is not None and packet.kind.carries_data:
+        if self._recovery and packet.kind.carries_data:
             # Batched blocks are ACKed at batch close, which may lag by the
             # batch timeout; the sender's RTO accounts for that known delay
             # so a slow batch is not mistaken for a lost block.
@@ -372,11 +467,13 @@ class SecureTransport(_TransportBase):
         key = (src, dst)
         ctr = self._ctrs.get(key, 0)
         self._ctrs[key] = ctr + 1
+        if self.monitor is not None:
+            self.monitor.on_counter(src, dst, ctr)
         return ctr
 
     def _launch(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
-        if self.fault_injector is not None and packet.kind.carries_data:
-            self._launch_faulty(packet, synced, batch_ctx, counter)
+        if self._recovery and packet.kind.carries_data:
+            self._launch_guarded(packet, synced, batch_ctx, counter)
             return
         arrival = self.topology.send(packet, self.sim.now)
         self.sim.post_at(
@@ -384,15 +481,28 @@ class SecureTransport(_TransportBase):
             lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
         )
 
-    def _launch_faulty(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
-        """Put one wire copy on the link, applying the injector's verdict.
+    def _launch_guarded(self, packet: Packet, synced: bool, batch_ctx, counter: int) -> None:
+        """Put one wire copy on the link, applying the hostile layers.
 
-        Every copy — original or retransmission — rolls its own verdict and
-        occupies link bandwidth even when dropped (the bits still crossed
-        the wire; only the far end never saw them intact).
+        Every copy — original or retransmission — rolls its own fault
+        verdict and its own attack verdict, and occupies link bandwidth
+        even when dropped (the bits still crossed the wire; only the far
+        end never saw them intact).  Both rolls always happen, in a fixed
+        order, so each per-pair verdict stream stays a pure function of
+        the pair's transmission count; the attack is *applied* only when
+        the link fault left an intact copy for the attacker to touch.
         """
         now = self.sim.now
-        verdict = self.fault_injector.decide(packet.src, packet.dst)
+        verdict = (
+            self.fault_injector.decide(packet.src, packet.dst)
+            if self.fault_injector is not None
+            else FaultVerdict.OK
+        )
+        attack = None
+        if self.adversary is not None:
+            attack = self.adversary.decide(packet.src, packet.dst)
+            if verdict in (FaultVerdict.DROP, FaultVerdict.CORRUPT):
+                attack = None  # the fault destroyed the copy first
         stats = self.fault_stats
         arrival = self.topology.send(packet, now)
         if verdict is FaultVerdict.DROP:
@@ -412,10 +522,7 @@ class SecureTransport(_TransportBase):
         elif verdict is FaultVerdict.DUPLICATE:
             stats.duplicates_injected += 1
             self._note_fault(packet, "duplicate")
-            self.sim.post_at(
-                arrival,
-                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
-            )
+            self._dispatch_arrival(packet, synced, batch_ctx, counter, arrival, attack)
             # the replayed copy trails the original and burns bandwidth;
             # the receiver's counter check will reject it
             dup_arrival = self.topology.send(packet, arrival)
@@ -426,48 +533,185 @@ class SecureTransport(_TransportBase):
         elif verdict is FaultVerdict.DELAY:
             stats.delays_injected += 1
             self._note_fault(packet, "delay")
-            self.sim.post_at(
-                arrival + self.cfg.fault.delay_cycles,
-                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            self._dispatch_arrival(
+                packet, synced, batch_ctx, counter,
+                arrival + self.cfg.fault.delay_cycles, attack,
             )
         else:
+            self._dispatch_arrival(packet, synced, batch_ctx, counter, arrival, attack)
+        pending = self._pending.get((packet.src, packet.dst), {}).get(packet.pid)
+        if pending is not None:
+            self._arm_timer(pending)
+
+    def _dispatch_arrival(
+        self, packet: Packet, synced: bool, batch_ctx, counter: int,
+        arrival: int, attack: AttackKind | None,
+    ) -> None:
+        if attack is None:
             self.sim.post_at(
                 arrival,
                 lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
             )
-        pending = self._pending.get((packet.src, packet.dst), {}).get(packet.pid)
-        if pending is not None:
-            self._arm_timer(pending)
+            return
+        self._inject_attack(packet, synced, batch_ctx, counter, arrival, attack)
+
+    def _inject_attack(
+        self, packet: Packet, synced: bool, batch_ctx, counter: int,
+        arrival: int, attack: AttackKind,
+    ) -> None:
+        """Apply one attack to the intact wire copy due at ``arrival``.
+
+        The attacker holds no keys and no pads, so mutated and fabricated
+        copies (flip/truncate/splice/forge) are destined for a MsgMAC
+        rejection; replay and reorder re-use authentic material and are
+        caught by the counter check or absorbed by the ACK window.
+        Spliced and forged copies travel under counters alien to the
+        receiving pair and are never added to its seen-set — a tampered
+        copy must not be able to poison a future legitimate counter.
+        """
+        adv = self.cfg.adversary
+        src, dst = packet.src, packet.dst
+        self.attack_report.note_injected(attack)
+        self._note_adv(f"{attack.value}_injected")
+        if attack in (AttackKind.FLIP_CIPHER, AttackKind.FLIP_MAC, AttackKind.TRUNCATE):
+            if self.monitor is not None:
+                self.monitor.on_tampered_copy(src, dst, counter, packet.pid)
+            self.sim.post_at(
+                arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter, a=attack: self._arrive(
+                    p, s, b, c, attack=a
+                ),
+            )
+        elif attack is AttackKind.REPLAY:
+            # The original proceeds untouched; the captured copy is
+            # re-injected later and burns real bandwidth.
+            self.sim.post_at(
+                arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            )
+            rep_arrival = self.topology.send(packet, arrival + adv.replay_lag)
+            self.sim.post_at(
+                rep_arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(
+                    p, s, b, c, attack=AttackKind.REPLAY
+                ),
+            )
+        elif attack is AttackKind.REORDER:
+            # Held back so later counters overtake it on the wire.
+            self.sim.post_at(
+                arrival + adv.reorder_lag,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(
+                    p, s, b, c, attack=AttackKind.REORDER
+                ),
+            )
+        elif attack is AttackKind.SPLICE:
+            # Redirected mid-flight: the block never reaches dst (the
+            # sender's RTO recovers it) and lands — MAC-doomed — on a
+            # third node's ingress.  Detection is attributed to the
+            # compromised (src, dst) wire it was captured on.
+            target = self.adversary.splice_target(src, dst)
+            spliced = Packet(
+                kind=packet.kind,
+                src=src,
+                dst=target,
+                size_bytes=packet.size_bytes,
+                meta_bytes=packet.meta_bytes,
+            )
+            if self.monitor is not None:
+                self.monitor.on_tampered_copy(src, target, counter, spliced.pid)
+            sp_arrival = self.topology.send(spliced, arrival)
+            self.sim.post_at(
+                sp_arrival,
+                lambda p=spliced, s=synced, c=counter, o=(src, dst): self._arrive(
+                    p, s, None, c, attack=AttackKind.SPLICE, origin=o
+                ),
+            )
+        elif attack is AttackKind.FORGE:
+            # Fabricated from scratch alongside the untouched original,
+            # under a counter no sender ever issued.
+            self.sim.post_at(
+                arrival,
+                lambda p=packet, s=synced, b=batch_ctx, c=counter: self._arrive(p, s, b, c),
+            )
+            self._forge_seq += 1
+            fake_counter = -self._forge_seq
+            forged = Packet(
+                kind=packet.kind,
+                src=src,
+                dst=dst,
+                size_bytes=packet.size_bytes,
+                meta_bytes=packet.meta_bytes,
+            )
+            if self.monitor is not None:
+                self.monitor.on_tampered_copy(src, dst, fake_counter, forged.pid)
+            fg_arrival = self.topology.send(forged, arrival)
+            self.sim.post_at(
+                fg_arrival,
+                lambda p=forged, s=synced, c=fake_counter: self._arrive(
+                    p, s, None, c, attack=AttackKind.FORGE
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
     def _arrive(
-        self, packet: Packet, synced: bool, batch_ctx, counter: int, corrupted: bool = False
+        self,
+        packet: Packet,
+        synced: bool,
+        batch_ctx,
+        counter: int,
+        corrupted: bool = False,
+        attack: AttackKind | None = None,
+        origin: tuple[int, int] | None = None,
     ) -> None:
         now = self.sim.now
         sec = self.cfg.security
         src, dst = packet.src, packet.dst
-        faulty = self.fault_injector is not None and packet.kind.carries_data
-        if faulty:
+        guarded = self._recovery and packet.kind.carries_data
+        if guarded:
             seen = self._recv_seen.setdefault((src, dst), set())
             if counter in seen:
-                # Wire replay: the plaintext counter check rejects the copy
-                # before it touches the crypto pipeline or burns a pad.
-                self.fault_stats.duplicates_discarded += 1
-                self._note_fault(packet, "dup-discard")
+                if attack is not None:
+                    # The plaintext counter check rejects the attacked copy
+                    # before it touches the crypto pipeline or burns a pad:
+                    # a whole-block replay re-presents a consumed counter,
+                    # and a spliced copy's alien counter can collide with
+                    # one this pair already accepted.
+                    event = (
+                        "replay_discard"
+                        if attack is AttackKind.REPLAY
+                        else "counter_reject"
+                    )
+                    self._attack_detected(attack, origin or (src, dst), event)
+                    return
+                # Wire replay (link echo): rejected the same way.
+                if self.fault_stats is not None:
+                    self.fault_stats.duplicates_discarded += 1
+                    self._note_fault(packet, "dup-discard")
                 return
-            seen.add(counter)
+            if attack is None or attack not in ALIEN_KINDS:
+                seen.add(counter)
         engine = self.engines[dst]
         demand = packet.kind is not PacketKind.MIGRATION_DATA
         self.schemes[dst].note_recv(src, now, demand=demand)
         start = max(now, self._recv_crypto_busy.get((src, dst), 0))
         recv_grant = self.schemes[dst].acquire_recv(src, start, synced=synced, demand=demand)
         self._recv_crypto_busy[(src, dst)] = start + recv_grant.wait
+        # Tampered/alien copies burn this pair's receive pad at the counter
+        # they *claim* and then die at the MsgMAC — wasted-pad cost, not a
+        # security double-use, so they stay out of the single-use ledger
+        # (the legitimate block under the same counter still must be unique).
+        if (
+            self.monitor is not None
+            and guarded
+            and (attack is None or attack not in TAMPER_KINDS)
+        ):
+            self.monitor.on_recv_pad(src, dst, counter)
 
         # A hostile link forfeits lazy verification: batched blocks verify
         # eagerly so corruption is caught before the block leaves the NoC.
-        lazy = sec.batching and self.accountant.batchable(packet.kind) and not faulty
+        lazy = sec.batching and self.accountant.batchable(packet.kind) and not guarded
         verify = 0 if lazy else engine.mac_fast_path
         deliver_at = start + recv_grant.wait + engine.encrypt_fast_path + verify
         if corrupted:
@@ -476,23 +720,53 @@ class SecureTransport(_TransportBase):
                 lambda p=packet, c=counter: self._corruption_detected(p, c),
             )
             return
+        if attack is not None and attack in TAMPER_KINDS:
+            self.sim.post_at(
+                deliver_at,
+                lambda p=packet, c=counter, a=attack, o=origin or (src, dst): (
+                    self._attack_rejected(p, c, a, o)
+                ),
+            )
+            return
         self.sim.post_at(
             deliver_at,
-            lambda p=packet, b=batch_ctx, c=counter: self._delivered(p, b, c),
+            lambda p=packet, b=batch_ctx, c=counter, a=attack: self._delivered(p, b, c, a),
         )
 
-    def _delivered(self, packet: Packet, batch_ctx, counter: int) -> None:
+    def _delivered(
+        self, packet: Packet, batch_ctx, counter: int, attack: AttackKind | None = None
+    ) -> None:
         now = self.sim.now
-        if self.fault_injector is not None and packet.kind.carries_data:
+        if self._recovery and packet.kind.carries_data:
             delivered = self._delivered_pids.setdefault((packet.src, packet.dst), set())
             if packet.pid in delivered:
                 # A late original raced its own retransmit: identical
                 # content, different counter.  Deliver exactly once.
-                self.fault_stats.spurious_retransmits += 1
-                self.fault_stats.wasted_otps += 1  # the extra receive pad
-                self._note_fault(packet, "dup-content")
+                if attack is not None:
+                    # The attacked copy lost the race — absorbed, no damage.
+                    self.attack_report.note_harmless(attack)
+                    self._note_adv(f"{attack.value}_absorbed")
+                if self.fault_stats is not None:
+                    self.fault_stats.spurious_retransmits += 1
+                    self.fault_stats.wasted_otps += 1  # the extra receive pad
+                    self._note_fault(packet, "dup-content")
                 return
             delivered.add(packet.pid)
+        if attack is not None:
+            if attack in TAMPER_KINDS:
+                # Contract breach: a tampered copy reached a device.  The
+                # ledger records it (the zero-undetected assertion fails)
+                # and the invariant monitor flags it below.
+                self.attack_report.note_accepted(attack)
+                self._note_adv("accepted")
+            else:
+                # Replay/reorder copies that deliver are authentic data
+                # arriving once: late (reorder) or standing in for a copy
+                # a link fault destroyed (replay).
+                self.attack_report.note_harmless(attack)
+                self._note_adv(f"{attack.value}_absorbed")
+        if self.monitor is not None and packet.kind.carries_data:
+            self.monitor.on_delivered(packet.src, packet.dst, counter, packet.pid)
         self._note_arrival(packet, now)
         sec = self.cfg.security
         src, dst = packet.src, packet.dst
@@ -621,7 +895,7 @@ class SecureTransport(_TransportBase):
         batch_id: int | None,
     ) -> None:
         """Settle retransmission state for blocks the receiver just ACKed."""
-        if self.fault_injector is None:
+        if not self._recovery:
             return
         pair = self._pending.get((sender, receiver))
         if not pair:
@@ -669,9 +943,12 @@ class SecureTransport(_TransportBase):
         if pending is None:
             return  # ACK won the race; this timer was lazily cancelled
         stats = self.fault_stats
-        stats.timeouts_fired += 1
-        stats.backoff_cycles += pending.rto
-        self._note_fault(pending.packet, "timeout")
+        if stats is not None:
+            stats.timeouts_fired += 1
+            stats.backoff_cycles += pending.rto
+            self._note_fault(pending.packet, "timeout")
+        else:
+            self._note_adv("timeout")
         fault = self.cfg.fault
         pending.rto = min(int(pending.rto * fault.backoff_factor), fault.backoff_max)
         pending.timer = None
@@ -684,8 +961,57 @@ class SecureTransport(_TransportBase):
         self._note_fault(packet, "mac-reject")
         self._send_nack(packet.dst, packet.src, counter)
 
+    # ------------------------------------------------------------------
+    # Adversary detection and link quarantine
+    # ------------------------------------------------------------------
+    def _attack_rejected(
+        self, packet: Packet, counter: int, attack: AttackKind, origin: tuple[int, int]
+    ) -> None:
+        """MsgMAC verification rejected a mutated or fabricated copy.
+
+        The receiver NACKs the counter it saw; for spliced copies the NACK
+        reaches a sender with no matching pending entry (a no-op — the
+        *original* pair's RTO drives recovery), and for forged copies the
+        fabricated counter matches nothing either.  Detection is always
+        charged to the compromised wire the attack originated on.
+        """
+        if self.monitor is not None:
+            self.monitor.on_mac_reject(packet.src, packet.dst, counter, packet.pid)
+        if self.fault_stats is not None:
+            self.fault_stats.wasted_otps += 1  # the receive pad burned
+        self._attack_detected(attack, origin, "mac_reject")
+        self._send_nack(packet.dst, packet.src, counter)
+
+    def _attack_detected(
+        self, attack: AttackKind, origin: tuple[int, int], event: str
+    ) -> None:
+        self.attack_report.note_detected(attack)
+        self._note_adv(event)
+        self._register_detection(*origin)
+
+    def _register_detection(self, src: int, dst: int) -> None:
+        """Count a detection against the (src → dst) wire; maybe failover.
+
+        Hitting ``quarantine_threshold`` detections takes the directed
+        link out of service: the topology reroutes the pair over an
+        alternate path and the injector stops seeing its traffic.  When no
+        alternate exists (CPU↔GPU over the single PCIe bus) the pair stays
+        on the guarded direct route and detections simply keep counting.
+        """
+        threshold = self.cfg.adversary.quarantine_threshold
+        if threshold <= 0:
+            return
+        key = (src, dst)
+        count = self._adv_detections.get(key, 0) + 1
+        self._adv_detections[key] = count
+        if count == threshold and self.topology.quarantine(src, dst):
+            self.adversary.on_quarantine(src, dst)
+            self.attack_report.note_quarantined(src, dst)
+            self._note_adv("quarantine")
+
     def _send_nack(self, from_node: int, to_node: int, counter: int) -> None:
-        self.fault_stats.nacks_sent += 1
+        if self.fault_stats is not None:
+            self.fault_stats.nacks_sent += 1
         if not self.cfg.security.count_metadata:
             # +SecureCommu mode: the NACK costs no bandwidth or latency.
             self._recover(to_node, from_node, counter, "nack")
@@ -717,8 +1043,11 @@ class SecureTransport(_TransportBase):
         src, dst = packet.src, packet.dst
         stats = self.fault_stats
         if pending.attempts > fault.max_retries:
-            stats.link_failures += 1
-            self._note_fault(packet, "give-up")
+            if stats is not None:
+                stats.link_failures += 1
+                self._note_fault(packet, "give-up")
+            else:
+                self._note_adv("give_up")
             self._resolve_pending(src, dst, packet.pid)
             raise LinkFailureError(
                 src=src,
@@ -728,12 +1057,15 @@ class SecureTransport(_TransportBase):
                 attempts=pending.attempts,
                 first_sent=pending.first_sent,
                 gave_up_at=self.sim.now,
-                fault_stats=stats.as_dict(),
+                fault_stats=stats.as_dict() if stats is not None else {},
             )
         pending.attempts += 1
-        stats.retransmits += 1
-        stats.wasted_otps += 1  # the superseded copy's send pad
-        self._note_fault(packet, "retransmit")
+        if stats is not None:
+            stats.retransmits += 1
+            stats.wasted_otps += 1  # the superseded copy's send pad
+            self._note_fault(packet, "retransmit")
+        else:
+            self._note_adv("retransmit")
         if pending.timer is not None:
             pending.timer.cancel()
             pending.timer = None
@@ -751,6 +1083,8 @@ class SecureTransport(_TransportBase):
         send_grant = self.schemes[src].acquire_send(dst, start, demand=demand)
         self._send_crypto_busy[(src, dst)] = start + send_grant.grant.wait
         counter = self._next_counter(src, dst)
+        if self.monitor is not None:
+            self.monitor.on_send_pad(src, dst, counter)
         pending.counter = counter
         pending.counters.append(counter)
         self._counter_owner[(src, dst, counter)] = packet.pid
@@ -772,6 +1106,23 @@ class SecureTransport(_TransportBase):
     # ------------------------------------------------------------------
     # Aggregated reporting
     # ------------------------------------------------------------------
+    def run_invariant_checks(self) -> None:
+        """End-of-run sanitizer pass over the whole security transcript.
+
+        No-op without an attached monitor (adversary-free runs).  Raises
+        :class:`~repro.secure.invariants.InvariantViolationError` if any
+        invariant — counter monotonicity, pad single-use, tamper
+        rejection, replay-window semantics, attack resolution — broke.
+        """
+        if self.monitor is None:
+            return
+        window = self.cfg.adversary.replay_window
+        for guard in self.guards.values():
+            self.monitor.check_guard(guard, window)
+        if self.attack_report is not None:
+            self.monitor.check_attack_report(self.attack_report)
+        self.monitor.check()
+
     def otp_summary(self) -> dict[str, dict[str, float]]:
         """Fleet-wide send/recv hit-partial-miss fractions (Figs 10/22)."""
         send = {"hit": 0, "partial": 0, "miss": 0}

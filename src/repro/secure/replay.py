@@ -9,6 +9,16 @@ The guard is pure bookkeeping — it adds no cycles — but its high-water mark
 reports how much sender-side retention storage the protocol needs, and the
 batched protocol's single-ACK-per-batch behaviour shows up directly as a
 lower entry turnover.
+
+A nonzero ``window`` relaxes strict FIFO: an ACK whose counter sits at
+queue depth ``d`` (0 = head) is accepted without penalty when ``d <
+window`` — delivery reordering within the window is legitimate, e.g. under
+an active adversary holding blocks back (`AdversaryConfig.reorder_rate`).
+The boundary is exact: depth ``window - 1`` is the last accepted position,
+depth ``window`` already counts as a violation and triggers the lost-entry
+resynchronization.  ``window=0`` (the default) is strict FIFO — any
+out-of-head ACK is a violation — which keeps adversary-free runs
+bit-identical to the historical behaviour.
 """
 
 from __future__ import annotations
@@ -19,13 +29,18 @@ from collections import deque
 class ReplayGuard:
     """Sender-side outstanding-message table for one processor."""
 
-    def __init__(self, node: int) -> None:
+    def __init__(self, node: int, window: int = 0) -> None:
+        if window < 0:
+            raise ValueError("window must be non-negative")
         self.node = node
+        self.window = window  # out-of-order ACK tolerance (queue depth)
         self._outstanding: dict[int, deque[int]] = {}  # peer -> counters awaiting ACK
         self.max_outstanding = 0
         self.acked = 0
         self.violations = 0
         self.dropped = 0  # entries retired as lost-in-flight, never ACKed
+        self.reorder_accepts = 0  # out-of-order ACKs accepted in-window
+        self.max_reorder_depth = 0  # deepest accepted out-of-order position
 
     def _pair(self, peer: int) -> deque:
         return self._outstanding.setdefault(peer, deque())
@@ -43,21 +58,39 @@ class ReplayGuard:
         freshness check); a mismatch is recorded as a violation and returns
         False.  Batched ACKs retire a whole batch at once.
 
-        A mismatched ACK whose counter *is* queued deeper means the entries
-        ahead of it were lost in flight (their ACKs will never come): the
-        guard resynchronizes by retiring through the matched entry with
-        dropped-message semantics.  Without that resync the stale head
-        would miscount every subsequent ACK for the peer as a violation.
-        A counter that was never sent (a forged or replayed ACK) leaves
-        the queue untouched.
+        A mismatched ACK whose counter is queued at depth ``d < window``
+        is an in-window reordering: the entry is retired cleanly (no
+        violation, no drops) and the entries ahead of it stay queued for
+        their own — merely overtaken — ACKs.
+
+        A mismatched ACK whose counter is queued *outside* the window
+        means the entries ahead of it were lost in flight (their ACKs
+        will never come): the guard resynchronizes by retiring through
+        the matched entry with dropped-message semantics.  Without that
+        resync the stale head would miscount every subsequent ACK for the
+        peer as a violation.  A counter that was never sent (a forged or
+        replayed ACK) leaves the queue untouched.
         """
         queue = self._pair(peer)
         if len(queue) < retire:
             self.violations += 1
             return False
         if counter is not None and queue[0] != counter:
+            try:
+                depth = queue.index(counter)
+            except ValueError:
+                depth = -1  # never sent: forged or replayed ACK
+            if 0 < depth < self.window:
+                # Legitimate in-window reordering: depth window-1 is the
+                # last accepted position, depth window already resyncs.
+                del queue[depth]
+                self.acked += 1
+                self.reorder_accepts += 1
+                if depth > self.max_reorder_depth:
+                    self.max_reorder_depth = depth
+                return True
             self.violations += 1
-            if counter in queue:
+            if depth >= 0:
                 while queue:
                     head = queue.popleft()
                     if head == counter:

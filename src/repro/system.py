@@ -26,6 +26,7 @@ from repro.interconnect.topology import CPU_NODE, Topology
 from repro.memory.migration import AccessCounterMigrationPolicy, MigrationCost
 from repro.obs import Telemetry
 from repro.memory.page_table import PageTable
+from repro.secure.adversary import AttackReport
 from repro.secure.channel import SecureTransport, build_transport
 from repro.sim.engine import Simulator
 from repro.sim.stats import FaultStats
@@ -72,6 +73,8 @@ class SimulationReport:
     events_processed: int = 0
     #: populated only when link-fault injection is enabled
     fault_stats: FaultStats | None = None
+    #: populated only when an active adversary is configured
+    attack_report: AttackReport | None = None
     #: uniform-namespace telemetry snapshot (see ``docs/OBSERVABILITY.md``):
     #: a JSON-safe dict of ``{"otp.send": {...}, "meta.bytes": {...}, ...}``
     #: harvested from the run's :class:`~repro.obs.Telemetry` at report time
@@ -222,7 +225,14 @@ class MultiGpuSystem:
             report.batch_macs_sent = self.transport.batch_macs_sent
         if self.transport.fault_stats is not None:
             report.fault_stats = self.transport.fault_stats
+        if self.transport.attack_report is not None:
+            report.attack_report = self.transport.attack_report
         self._harvest_metrics(report)
+        if isinstance(self.transport, SecureTransport):
+            # Sanitizer pass: a violated security invariant fails the run
+            # loudly rather than shipping a report built on broken crypto
+            # bookkeeping (no-op unless an adversary was configured).
+            self.transport.run_invariant_checks()
         return report
 
     def _harvest_metrics(self, report: SimulationReport) -> None:
@@ -275,6 +285,18 @@ class MultiGpuSystem:
                         if hasattr(s, "plans_applied")
                     )
                 )
+        if report.attack_report is not None:
+            # Rollup of the per-attack ledger next to the live adv.* event
+            # counters the transport recorded during the run.
+            ar = report.attack_report
+            m.counter("adv.injected").add(ar.total_injected)
+            m.counter("adv.detected").add(ar.total_detected)
+            m.counter("adv.harmless").add(ar.total_harmless)
+            m.counter("adv.accepted_undetected").add(ar.accepted_undetected)
+            m.counter("adv.quarantined_links").add(len(ar.quarantined))
+            monitor = getattr(self.transport, "monitor", None)
+            if monitor is not None:
+                m.counter("adv.invariant_violations").add(len(monitor.violations))
         report.metrics = self.telemetry.snapshot()
 
 

@@ -42,6 +42,15 @@ def _job(scheme: str, **fault) -> SweepJob:
     return SweepJob(spec=get_workload("fir"), config=config, seed=1, scale=SCALE)
 
 
+def _adv_job(scheme: str, fault: dict | None = None, **adversary) -> SweepJob:
+    config = scheme_config(scheme)
+    if fault:
+        config = config.with_fault(**fault)
+    if adversary:
+        config = config.with_adversary(**adversary)
+    return SweepJob(spec=get_workload("fir"), config=config, seed=1, scale=SCALE)
+
+
 class TestNameValidation:
     def test_good_names_pass(self):
         for name in ("otp.send", "fault.mac_reject", "engine.pushes", "otp.send.hit"):
@@ -306,6 +315,40 @@ class TestUniformNamespace:
         # rate-0 fault config is equally invisible
         report = execute_job(_job("private", drop_rate=0.0))
         assert not any(n.startswith("fault.") for n in report.metrics)
+
+    def test_adversary_run_emits_adv_metrics(self):
+        report = execute_job(_adv_job("private", flip_cipher_rate=0.05, seed=3))
+        adv_names = {n for n in report.metrics if n.startswith("adv.")}
+        assert "adv.injected" in adv_names
+        assert "adv.detected" in adv_names
+        assert report.metrics["adv.accepted_undetected"]["value"] == 0
+        assert not any(n.startswith("fault.") for n in report.metrics)
+        assert validate_metrics(report.metrics) == []
+
+    def test_combined_fault_and_adversary_export_both_namespaces(self):
+        report = execute_job(
+            _adv_job(
+                "private",
+                fault={"drop_rate": 0.05, "corrupt_rate": 0.05, "seed": 7},
+                flip_cipher_rate=0.03,
+                replay_rate=0.02,
+                seed=3,
+            )
+        )
+        namespaces = {n.split(".", 1)[0] for n in report.metrics}
+        assert "fault" in namespaces
+        assert "adv" in namespaces
+        assert report.metrics["adv.accepted_undetected"]["value"] == 0
+        assert validate_metrics(report.metrics) == []
+
+    def test_rate_zero_adversary_and_fault_export_neither(self):
+        report = execute_job(_adv_job("private", fault={"drop_rate": 0.0}, flip_cipher_rate=0.0))
+        namespaces = {n.split(".", 1)[0] for n in report.metrics}
+        assert "fault" not in namespaces
+        assert "adv" not in namespaces
+        # and the export is byte-identical to the pristine config's
+        pristine = execute_job(_job("private"))
+        assert metrics_to_jsonl(report.metrics) == metrics_to_jsonl(pristine.metrics)
 
     def test_namespaces_used_are_known(self):
         report = execute_job(_job("batching"))

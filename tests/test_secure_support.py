@@ -148,3 +148,83 @@ class TestReplayGuard:
         assert g.on_ack(2, counter=0)
         assert g.on_ack(2, counter=2)
         assert g.violations == 0
+
+class TestReplayGuardWindow:
+    """Out-of-order ACK tolerance: the boundary is exact (depth < window)."""
+
+    def _sent(self, window: int, n: int = 6) -> ReplayGuard:
+        g = ReplayGuard(1, window=window)
+        for c in range(n):
+            g.on_send(2, c)
+        return g
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayGuard(1, window=-1)
+
+    def test_window_zero_is_strict_fifo(self):
+        g = self._sent(0, n=3)
+        assert not g.on_ack(2, counter=1)  # depth 1: violation under w=0
+        assert g.violations == 1
+        assert g.reorder_accepts == 0
+
+    def test_window_one_equals_strict_fifo(self):
+        # depth must satisfy 0 < d < 1: impossible, so w=1 accepts only heads
+        g = self._sent(1, n=3)
+        assert not g.on_ack(2, counter=1)
+        assert g.violations == 1
+        assert g.reorder_accepts == 0
+
+    def test_depth_zero_is_a_plain_head_match(self):
+        g = self._sent(4)
+        assert g.on_ack(2, counter=0)
+        assert g.reorder_accepts == 0
+        assert g.violations == 0
+
+    def test_last_in_window_depth_accepted(self):
+        w = 4
+        g = self._sent(w)
+        assert g.on_ack(2, counter=w - 1)  # depth W-1: last legal position
+        assert g.violations == 0
+        assert g.dropped == 0
+        assert g.reorder_accepts == 1
+        assert g.max_reorder_depth == w - 1
+        # overtaken entries are still queued and still ACK cleanly
+        assert g.outstanding(2) == 5
+        assert g.on_ack(2, counter=0)
+        assert g.violations == 0
+
+    def test_exact_window_depth_resyncs(self):
+        w = 4
+        g = self._sent(w)
+        assert not g.on_ack(2, counter=w)  # depth W: first illegal position
+        assert g.violations == 1
+        # resynchronization: entries ahead retired as lost, match as acked
+        assert g.dropped == w
+        assert g.acked == 1
+        assert g.outstanding(2) == 1
+        assert g.reorder_accepts == 0
+
+    def test_beyond_window_depth_resyncs(self):
+        w = 4
+        g = self._sent(w)
+        assert not g.on_ack(2, counter=w + 1)  # depth W+1
+        assert g.violations == 1
+        assert g.dropped == w + 1
+        assert g.acked == 1
+
+    def test_reordered_acks_drain_whole_queue_without_violations(self):
+        g = self._sent(3, n=4)
+        for counter in (2, 1, 0, 3):  # worst legal shuffle for w=3
+            assert g.on_ack(2, counter=counter)
+        assert g.violations == 0
+        assert g.dropped == 0
+        assert g.acked == 4
+        assert g.outstanding(2) == 0
+        assert g.max_reorder_depth == 2
+
+    def test_forged_ack_still_rejected_inside_window(self):
+        g = self._sent(3, n=2)
+        assert not g.on_ack(2, counter=99)  # never sent
+        assert g.violations == 1
+        assert g.outstanding(2) == 2  # queue untouched

@@ -272,3 +272,79 @@ class TestHungWorker:
         while multiprocessing.active_children() and time.monotonic() < deadline:
             time.sleep(0.05)
         assert not multiprocessing.active_children()
+
+
+class TestRetryBackoff:
+    """Exponential backoff with deterministic jitter + the failure manifest."""
+
+    def test_retry_delay_grows_and_caps(self):
+        runner = SweepRunner(jobs=1, retry_backoff=0.1, retry_backoff_max=0.5)
+        job = _grid()[0]
+        delays = [runner._retry_delay(job, attempt) for attempt in range(6)]
+        # monotone non-decreasing bases: 0.1, 0.2, 0.4, then capped at 0.5
+        bases = [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+        for delay, base in zip(delays, bases):
+            assert base <= delay <= base * 1.25
+
+    def test_retry_delay_is_deterministic_per_cell(self):
+        a = SweepRunner(jobs=1)
+        b = SweepRunner(jobs=1)
+        job = _grid()[0]
+        assert a._retry_delay(job, 0) == b._retry_delay(job, 0)
+        # different cells jitter differently at the same attempt
+        other = _grid()[1]
+        assert a._retry_delay(job, 0) != a._retry_delay(other, 0)
+
+    def test_zero_backoff_disables_sleeping(self):
+        runner = SweepRunner(jobs=1, retry_backoff=0.0)
+        assert runner._retry_delay(_grid()[0], 3) == 0.0
+
+    def test_rescued_cell_lands_in_failure_manifest(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        job = _grid()[0]
+        real = sweep_mod.execute_job
+        calls = {"n": 0}
+
+        def flaky(j, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(j, **kw)
+
+        monkeypatch.setattr(sweep_mod, "execute_job", flaky)
+        runner = SweepRunner(jobs=1, retries=1, retry_backoff=0.001)
+        runner.run_jobs([job])
+        assert len(runner.stats.failures) == 1
+        entry = runner.stats.failures[0]
+        assert entry["cell"] == job.describe()
+        assert entry["rescued"] is True
+        assert entry["attempts"] == 2
+        assert entry["backoff_s"] > 0
+        assert entry["errors"] == [
+            {"attempt": 1, "type": "RuntimeError", "message": "transient"}
+        ]
+
+    def test_exhausted_cell_lands_unrescued(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+        from repro.runner import SweepError
+
+        monkeypatch.setattr(
+            sweep_mod,
+            "execute_job",
+            lambda j, **kw: (_ for _ in ()).throw(ValueError("persistent")),
+        )
+        runner = SweepRunner(jobs=1, retries=2, retry_backoff=0.001)
+        with pytest.raises(SweepError):
+            runner.run_jobs([_grid()[0]])
+        entry = runner.stats.failures[0]
+        assert entry["rescued"] is False
+        assert entry["attempts"] == 3
+        assert [e["type"] for e in entry["errors"]] == ["ValueError"] * 3
+        assert runner.stats.retries == 2
+
+    def test_clean_run_has_empty_manifest(self):
+        runner = SweepRunner(jobs=1)
+        runner.run_jobs([_grid()[0]])
+        assert runner.stats.failures == []
+        assert runner.stats.as_dict()["failures"] == []
