@@ -6,6 +6,7 @@ Subcommands:
 * ``compare``     — one workload across all schemes, normalized table
 * ``experiment``  — regenerate a paper table/figure by name
 * ``metrics``     — dump/diff/tail/check metrics exports (``docs/OBSERVABILITY.md``)
+* ``verify``      — differential conformance harness (``docs/VERIFICATION.md``)
 * ``list``        — list workloads and experiments
 """
 
@@ -107,6 +108,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "check", help="validate names/namespaces/payloads (exit 1 on violations)"
     )
     check_p.add_argument("file")
+
+    ver_p = sub.add_parser(
+        "verify", help="run the differential conformance harness"
+    )
+    depth = ver_p.add_mutually_exclusive_group()
+    depth.add_argument(
+        "--quick", dest="mode", action="store_const", const="quick",
+        help="smoke matrix: 3 workloads x all schemes at small scale (default)",
+    )
+    depth.add_argument(
+        "--full", dest="mode", action="store_const", const="full",
+        help="full matrix: Table IV + collectives, dormant variants, seed stability",
+    )
+    ver_p.set_defaults(mode="quick")
+    ver_p.add_argument("--gpus", type=int, default=4)
+    ver_p.add_argument("--seed", type=int, default=1)
+    ver_p.add_argument(
+        "--artifact-dir", default=None,
+        help="where minimized repro artifacts land (default: results/verify)",
+    )
+    ver_p.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without minimizing them",
+    )
+    ver_p.add_argument(
+        "--replay", metavar="ARTIFACT", default=None,
+        help="re-run a saved repro artifact instead of the matrix",
+    )
+    _add_runner_args(ver_p)
 
     sub.add_parser("list", help="list workloads and experiments")
     return parser
@@ -233,6 +263,40 @@ def _cmd_validate(args) -> int:
     return 0 if all(v.passed for v in verdicts) else 1
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import ReproArtifact, evaluate_cells, format_result, run_verify
+
+    runner = _sweeper(args)
+
+    if args.replay:
+        from repro.runner import default_trace_store
+
+        artifact = ReproArtifact.load(args.replay)
+        print(f"replaying {args.replay}: {artifact.violation.oracle} "
+              f"on {len(artifact.cells)} cell(s)")
+        found = evaluate_cells(
+            artifact.violation.oracle, artifact.cells,
+            trace_store=runner.trace_store or default_trace_store(),
+        )
+        if found:
+            print(found[0].describe())
+            print("violation still reproduces")
+            return 1
+        print("violation no longer reproduces on this build")
+        return 0
+
+    result = run_verify(
+        args.mode,
+        n_gpus=args.gpus,
+        seed=args.seed,
+        runner=runner,
+        do_shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir or "results/verify",
+    )
+    print(format_result(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_metrics(args) -> int:
     import json
 
@@ -291,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "list":

@@ -63,8 +63,12 @@ class BatchingController:
         self.timeout = timeout
         self._open: dict[int, _PairBatch] = {}  # peer -> open batch
         self._next_batch_id = 0
+        self.batches_opened = 0
         self.batches_closed_full = 0
         self.batches_closed_timeout = 0
+        #: timers that fired for an already-closed batch and were ignored —
+        #: the size-close vs. timeout-close race resolves as a counted no-op
+        self.stale_timeouts = 0
 
     def add_block(self, peer: int, now: int) -> BlockGrant:
         """Account one outgoing data block to ``peer``."""
@@ -75,6 +79,7 @@ class BatchingController:
             batch = _PairBatch(self._next_batch_id, now)
             self._next_batch_id += 1
             self._open[peer] = batch
+            self.batches_opened += 1
         batch.count += 1
         meta = md.batched_block_meta_bytes
         if opens:
@@ -96,10 +101,17 @@ class BatchingController:
         """Close a batch whose timer fired.
 
         Returns the size in blocks of the closed batch, or None when the
-        timer is stale (the batch already closed by filling up).
+        timer is stale (the batch already closed by filling up).  Batch ids
+        are never reused within a controller, so a stale timer can only
+        ever observe ``batch_id != batch.batch_id`` (or no open batch) and
+        must change nothing: no MAC packet, no close counter, no bytes.
+        The caller relies on the None return to skip the standalone-MAC
+        send entirely; :attr:`stale_timeouts` counts the no-ops so the
+        race stays observable.
         """
         batch = self._open.get(peer)
         if batch is None or batch.batch_id != batch_id:
+            self.stale_timeouts += 1
             return None
         del self._open[peer]
         self.batches_closed_timeout += 1

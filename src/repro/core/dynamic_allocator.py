@@ -46,8 +46,14 @@ def largest_remainder(total: int, weights: list[float]) -> list[int]:
     exact = [total * w / weight_sum for w in weights]
     floors = [int(e) for e in exact]
     shortfall = total - sum(floors)
+    # Tie-break order is part of the function's contract: largest remainder
+    # first, then largest weight, then *ascending index* — spelled out as an
+    # explicit ascending sort so exact ties are deterministic and invariant
+    # under appending peers (the relabeling oracle in ``repro.verify`` runs
+    # permuted-peer sweeps against this).  A ``reverse=True`` composite sort
+    # would leave the index order implicit in sort stability.
     remainders = sorted(
-        range(len(weights)), key=lambda i: (exact[i] - floors[i], weights[i]), reverse=True
+        range(len(weights)), key=lambda i: (floors[i] - exact[i], -weights[i], i)
     )
     for i in remainders[:shortfall]:
         floors[i] += 1

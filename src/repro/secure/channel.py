@@ -343,6 +343,11 @@ class SecureTransport(_TransportBase):
         self._batch_arrivals: dict[tuple[int, int, int], list] = {}
         self.acks_sent = 0
         self.batch_macs_sent = 0
+        #: secured messages that took the conventional per-message metadata
+        #: path (MsgCTR+MsgMAC+senderID each) vs. the batched-block path —
+        #: the split the metadata byte law in ``repro.verify`` is written in
+        self.conventional_msgs = 0
+        self.batched_blocks = 0
         #: when SecurityConfig.audit is set, every secured message is
         #: recorded for functional replay (repro.secure.audit)
         self.audit_log: list = [] if sec.audit else None
@@ -410,15 +415,21 @@ class SecureTransport(_TransportBase):
                 # each block keeps its own MsgMAC on the wire.
                 meta += self.accountant.eager_block_mac_bytes()
             batch_ctx = grant
+            self.batched_blocks += 1
             if grant.opens_batch:
                 self.sim.post(
                     sec.batch_timeout,
                     lambda s=src, d=dst, b=grant.batch_id: self._batch_timeout(s, d, b),
                 )
             if self.accountant.needs_ack(packet.kind):
-                self.guards[src].on_send(dst, counter)
+                # Batched blocks are ACKed once per batch: tag the entry so
+                # the guard retires it on *that* batch's ACK, not blindly
+                # from the FIFO head (conventional ACKs overtake batch ACKs
+                # by design — the batch waits for its close).
+                self.guards[src].on_send(dst, counter, batch_id=grant.batch_id)
         else:
             meta = self.accountant.conventional_meta(packet)
+            self.conventional_msgs += 1
             if self.accountant.needs_ack(packet.kind):
                 self.guards[src].on_send(dst, counter)
 
@@ -860,7 +871,7 @@ class SecureTransport(_TransportBase):
     ) -> None:
         if not self.cfg.security.count_metadata:
             # +SecureCommu mode: account the protocol without its bandwidth.
-            self.guards[to_node].on_ack(from_node, counter, retire)
+            self.guards[to_node].on_ack(from_node, counter, retire, batch_id=batch_id)
             self._resolve_acked(to_node, from_node, counter, retire, batch_id)
             return
         ack = Packet(
@@ -880,7 +891,7 @@ class SecureTransport(_TransportBase):
 
     def _ack_retire(self, ack: Packet, counter: int | None, batch_id: int | None = None) -> None:
         # ack.dst is the original sender whose replay table retires entries
-        self.guards[ack.dst].on_ack(ack.src, counter, retire=ack.txn_id)
+        self.guards[ack.dst].on_ack(ack.src, counter, retire=ack.txn_id, batch_id=batch_id)
         self._resolve_acked(ack.dst, ack.src, counter, ack.txn_id, batch_id)
 
     # ------------------------------------------------------------------
@@ -1088,7 +1099,11 @@ class SecureTransport(_TransportBase):
         pending.counter = counter
         pending.counters.append(counter)
         self._counter_owner[(src, dst, counter)] = packet.pid
-        self.guards[src].on_send(dst, counter)
+        self.guards[src].on_send(
+            dst,
+            counter,
+            batch_id=pending.batch_ctx.batch_id if pending.batch_ctx is not None else None,
+        )
         engine.count_mac()
         launch_at = (
             start

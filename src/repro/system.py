@@ -268,6 +268,28 @@ class MultiGpuSystem:
                 recv.merge(scheme.recv_outcomes)
             m.counter("ack.sent").add(self.transport.acks_sent)
             m.counter("batch.macs_sent").add(self.transport.batch_macs_sent)
+            # Conformance-oracle feed (docs/VERIFICATION.md): the message
+            # split the metadata byte law is written in, the batch life
+            # cycle counters its batched form sums over, the end-of-run
+            # pool gauge the conservation law checks, and the replay-guard
+            # ledger the ACK-accounting law audits.
+            m.counter("meta.conventional_msgs").add(self.transport.conventional_msgs)
+            m.counter("meta.batched_blocks").add(self.transport.batched_blocks)
+            batchers = self.transport.batchers.values()
+            m.counter("batch.opened").add(sum(b.batches_opened for b in batchers))
+            m.counter("batch.closed_full").add(sum(b.batches_closed_full for b in batchers))
+            m.counter("batch.closed_timeout").add(
+                sum(b.batches_closed_timeout for b in batchers)
+            )
+            m.counter("batch.stale_timeouts").add(sum(b.stale_timeouts for b in batchers))
+            m.gauge("otp.pool_entries").set(
+                sum(s.pool_size() for s in self.transport.schemes.values())
+            )
+            guards = self.transport.guards.values()
+            m.counter("ack.guard_acked").add(sum(g.acked for g in guards))
+            m.counter("ack.guard_violations").add(sum(g.violations for g in guards))
+            m.counter("ack.guard_dropped").add(sum(g.dropped for g in guards))
+            m.gauge("ack.guard_outstanding").set(sum(g.outstanding() for g in guards))
             allocators = [
                 s.allocator
                 for s in self.transport.schemes.values()

@@ -1,0 +1,51 @@
+"""Differential conformance harness (``repro-sim verify``).
+
+Four oracle families check every simulation result against laws that must
+hold by construction:
+
+* :mod:`repro.verify.analytic` — closed-form laws per report: traffic/
+  metadata byte accounting, OTP pad and pool conservation, replay-guard
+  ledger balance, ring-collective volume conservation.
+* :mod:`repro.verify.differential` — the same compiled trace through
+  every scheme: payload equality, slowdown sandwiches, metadata
+  dominance, and the fleet-level geomean ordering of Table IV.
+* :mod:`repro.verify.metamorphic` — perturbations with known effect: GPU
+  relabeling, ``batch_size=1`` vs. conventional, dormant fault/adversary
+  sections, cross-seed ranking stability.
+* :mod:`repro.verify.shrinker` — bisects any violation to a minimal
+  failing cell set and emits a replayable JSON artifact
+  (``repro-sim verify --replay``).
+
+See ``docs/VERIFICATION.md`` for the law catalogue with paper references.
+"""
+
+from repro.verify.harness import (
+    ALL_SCHEMES,
+    QUICK_WORKLOADS,
+    VerifyResult,
+    format_result,
+    matrix_cells,
+    run_verify,
+)
+from repro.verify.shrinker import evaluate_cells, shrink
+from repro.verify.violations import (
+    ARTIFACT_SCHEMA,
+    CellRef,
+    ReproArtifact,
+    Violation,
+)
+
+__all__ = [
+    "ALL_SCHEMES",
+    "ARTIFACT_SCHEMA",
+    "QUICK_WORKLOADS",
+    "CellRef",
+    "ReproArtifact",
+    "VerifyResult",
+    "Violation",
+    "evaluate_cells",
+    "format_result",
+    "matrix_cells",
+    "run_verify",
+    "shrink",
+]

@@ -1,0 +1,317 @@
+"""Analytic oracles: every report must satisfy closed-form laws.
+
+Each check takes one cell and its :class:`~repro.system.SimulationReport`
+and returns the violations it found (empty list = conformant).  The laws,
+with their paper anchors (see ``docs/VERIFICATION.md`` for derivations):
+
+* **traffic accounting** — ``traffic = base + metadata`` byte-exactly,
+  and the metrics snapshot cross-sums to the report fields.
+* **metadata byte law** (§IV-C, Fig. 19) — conventional security metadata
+  is ``per_message_meta_bytes`` per secured message plus ``ack_bytes`` per
+  ACK; the batched protocol is ``batched_block_meta_bytes`` per block, one
+  length byte per opened batch, one MsgMAC per full close, one standalone
+  MAC packet per timeout close, one ACK per batch.
+* **OTP accounting** (§IV-B) — every secured message consumes exactly one
+  send pad and one receive pad: the scheme's send/recv outcome totals both
+  equal the secured-message count.
+* **pool conservation** (Formulas 1–4) — after any number of interval
+  repartitions the per-node pool totals still sum to the provisioned
+  ``(n_nodes) x total_otp_entries``; allocation never mints or leaks pads.
+* **replay-guard ledger** (§II-C) — fault-free runs retire every retained
+  counter exactly once: zero violations, zero drops, zero outstanding.
+* **collective conservation** — ring collectives move exactly the volume
+  the algorithm promises (e.g. ``2(N-1)·M/N`` remote reads per GPU for
+  ring all-reduce), checked directly on the compiled trace.
+"""
+
+from __future__ import annotations
+
+from repro.verify.violations import CellRef, Violation, metric_value, ratio_total
+
+#: schemes whose provisioned pool the conservation law pins exactly
+_EXACT_POOL_SCHEMES = frozenset({"private", "dynamic", "batching"})
+
+
+def _v(
+    oracle: str,
+    law: str,
+    cell: CellRef,
+    message: str,
+    observed=None,
+    expected=None,
+) -> Violation:
+    return Violation(
+        oracle=oracle, law=law, cells=[cell], message=message,
+        observed=observed, expected=expected,
+    )
+
+
+def check_traffic_accounting(cell: CellRef, report) -> list[Violation]:
+    """traffic_bytes == base + metadata, and metrics mirror the report."""
+    out: list[Violation] = []
+    if report.traffic_bytes != report.base_traffic_bytes + report.meta_traffic_bytes:
+        out.append(_v(
+            "analytic.traffic_accounting",
+            "traffic_bytes == base_traffic_bytes + meta_traffic_bytes",
+            cell,
+            "wire byte accounting does not decompose",
+            observed=report.traffic_bytes,
+            expected=report.base_traffic_bytes + report.meta_traffic_bytes,
+        ))
+    crosses = {
+        "run.cycles": report.execution_cycles,
+        "run.remote_requests": report.remote_requests,
+        "run.migrations": report.migrations,
+        "traffic.bytes": report.traffic_bytes,
+        "traffic.base_bytes": report.base_traffic_bytes,
+        "meta.bytes": report.meta_traffic_bytes,
+        "ack.sent": report.acks_sent,
+        "batch.macs_sent": report.batch_macs_sent,
+    }
+    for name, want in crosses.items():
+        if cell.scheme == "unsecure" and name in ("ack.sent", "batch.macs_sent"):
+            continue
+        got = metric_value(report, name, default=None)
+        if got != want:
+            out.append(_v(
+                "analytic.metrics_cross_sum",
+                f"metrics[{name}] == report field",
+                cell,
+                f"metric {name} disagrees with the report",
+                observed=got,
+                expected=want,
+            ))
+    return out
+
+
+def check_metadata_bytes(cell: CellRef, report) -> list[Violation]:
+    """Closed-form metadata byte law (§IV-C).
+
+    Applies to clean cells (no retransmissions — a retransmitted wire copy
+    re-bills its metadata without re-counting a message) with metadata
+    bandwidth accounting on.
+    """
+    if cell.scheme == "unsecure":
+        if report.meta_traffic_bytes != 0:
+            return [_v(
+                "analytic.metadata_bytes", "unsecure carries zero metadata",
+                cell, "unsecure run reports metadata bytes",
+                observed=report.meta_traffic_bytes, expected=0,
+            )]
+        return []
+    cfg = cell.config()
+    if not cfg.security.count_metadata or report.fault_stats is not None:
+        return []
+    md = cfg.security.metadata
+    conv = metric_value(report, "meta.conventional_msgs")
+    blk = metric_value(report, "meta.batched_blocks")
+    opened = metric_value(report, "batch.opened")
+    closed_full = metric_value(report, "batch.closed_full")
+    standalone = md.msg_mac_bytes + md.sender_id_bytes + 1
+    expected = (
+        conv * md.per_message_meta_bytes
+        + blk * md.batched_block_meta_bytes
+        + opened * md.batch_len_bytes
+        + closed_full * md.msg_mac_bytes
+        + report.batch_macs_sent * standalone
+        + report.acks_sent * md.ack_bytes
+    )
+    if report.meta_traffic_bytes != expected:
+        return [_v(
+            "analytic.metadata_bytes",
+            "meta_bytes == conv·17 + blocks·9 + opens·1 + full_closes·8 "
+            "+ timeout_macs·10 + acks·16 (Fig. 19 sizes)",
+            cell,
+            "metadata wire bytes deviate from the per-message formulas",
+            observed=report.meta_traffic_bytes,
+            expected=expected,
+        )]
+    return []
+
+
+def check_otp_accounting(cell: CellRef, report) -> list[Violation]:
+    """One send pad and one receive pad per secured message, exactly."""
+    if cell.scheme == "unsecure":
+        return []
+    if report.fault_stats is not None or report.attack_report is not None:
+        return []  # retransmits legitimately consume extra pads
+    out: list[Violation] = []
+    secured = metric_value(report, "meta.conventional_msgs") + metric_value(
+        report, "meta.batched_blocks"
+    )
+    for direction in ("otp.send", "otp.recv"):
+        total = ratio_total(report, direction)
+        if total != secured:
+            out.append(_v(
+                "analytic.otp_accounting",
+                "pad acquisitions per direction == secured messages",
+                cell,
+                f"{direction} outcome total diverges from the secured-message count",
+                observed=total,
+                expected=secured,
+            ))
+    return out
+
+
+def check_pool_conservation(cell: CellRef, report) -> list[Violation]:
+    """Formulas 1–4 integerization never mints or leaks pool entries."""
+    if cell.scheme == "unsecure":
+        return []
+    cfg = cell.config()
+    n_nodes = cell.n_gpus + 1  # GPUs + host, full peer graph
+    provisioned = n_nodes * cfg.security.total_otp_entries(cell.n_gpus)
+    pool = metric_value(report, "otp.pool_entries", default=None)
+    if pool is None:
+        return [_v(
+            "analytic.pool_conservation", "otp.pool_entries gauge present",
+            cell, "secure run is missing the pool gauge",
+        )]
+    if cell.scheme == "ideal":
+        expected: tuple[int, int] = (0, 0)
+    elif cell.scheme in _EXACT_POOL_SCHEMES:
+        expected = (provisioned, provisioned)
+    else:  # shared/cached provision differently but never exceed the budget
+        expected = (1, provisioned)
+    if not (expected[0] <= pool <= expected[1]):
+        return [_v(
+            "analytic.pool_conservation",
+            "send_total + recv_total == provisioned pool at every interval",
+            cell,
+            "end-of-run pool total escaped the provisioned budget",
+            observed=pool,
+            expected=expected[0] if expected[0] == expected[1] else list(expected),
+        )]
+    return []
+
+
+def check_ack_ledger(cell: CellRef, report) -> list[Violation]:
+    """Fault-free runs retire every retained counter exactly once."""
+    if cell.scheme == "unsecure":
+        return []
+    if report.fault_stats is not None or report.attack_report is not None:
+        return []
+    cfg = cell.config()
+    if cfg.security.protect_requests:
+        return []  # secured control messages are not ACKed; the law changes
+    out: list[Violation] = []
+    secured = metric_value(report, "meta.conventional_msgs") + metric_value(
+        report, "meta.batched_blocks"
+    )
+    for name, want in (
+        ("ack.guard_violations", 0),
+        ("ack.guard_dropped", 0),
+        ("ack.guard_outstanding", 0),
+        ("ack.guard_acked", secured),
+    ):
+        got = metric_value(report, name, default=None)
+        if got != want:
+            out.append(_v(
+                "analytic.ack_ledger",
+                "clean runs: guard acks == secured msgs; no violations, "
+                "drops, or stranded entries",
+                cell,
+                f"replay-guard ledger field {name} off",
+                observed=got,
+                expected=want,
+            ))
+    return out
+
+
+def check_report(cell: CellRef, report) -> list[Violation]:
+    """All per-report analytic oracles."""
+    out: list[Violation] = []
+    out += check_traffic_accounting(cell, report)
+    out += check_metadata_bytes(cell, report)
+    out += check_otp_accounting(cell, report)
+    out += check_pool_conservation(cell, report)
+    out += check_ack_ledger(cell, report)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Collective conservation (trace-level)
+# ---------------------------------------------------------------------------
+#: per-GPU remote-read law for the symmetric ring collectives, as rounds
+#: formulas mirroring docs/WORKLOADS.md: name -> (rounds(scale), factor)
+#: where expected = rounds · factor(N, owned_blocks_per_gpu)
+_RING_LAWS = {
+    "allreduce_ring": (
+        lambda scale: max(3, int(6 * scale)),
+        lambda n, owned: 2 * (n - 1) * owned // n,
+        "2(N-1)·M/N per GPU per round (reduce-scatter + all-gather ring)",
+    ),
+    "reducescatter": (
+        lambda scale: max(5, int(10 * scale)),
+        lambda n, owned: (n - 1) * owned // n,
+        "(N-1)·M/N per GPU per round (ring reduce-scatter)",
+    ),
+    "allgather": (
+        lambda scale: max(4, int(8 * scale)),
+        lambda n, owned: (n - 1) * owned,
+        "(N-1)·shard per GPU per round (direct all-gather)",
+    ),
+}
+
+
+#: workloads the trace-level collective law covers
+RING_WORKLOADS = frozenset(_RING_LAWS)
+
+
+def check_collective_trace(cell: CellRef, trace) -> list[Violation]:
+    """Ring-collective conservation, checked on the compiled trace.
+
+    ``M`` (the message size in blocks) is recovered from the trace itself:
+    each GPU owns exactly its shard buffer.  The check is skipped when the
+    shard does not fill whole pages (M then is not recoverable from the
+    ownership map).
+    """
+    law = _RING_LAWS.get(cell.workload)
+    if law is None:
+        return []
+    rounds_of, expected_of, law_text = law
+    from repro.memory.address_space import BLOCK_BYTES, PAGE_BYTES, page_of
+
+    blocks_per_page = PAGE_BYTES // BLOCK_BYTES
+    owned_pages: dict[int, int] = {}
+    for _page, owner in trace.initial_owners.items():
+        if owner != 0:
+            owned_pages[owner] = owned_pages.get(owner, 0) + 1
+    if len(set(owned_pages.values())) != 1:
+        return []  # asymmetric ownership: M not recoverable
+    owned_blocks = next(iter(owned_pages.values())) * blocks_per_page
+
+    remote_reads: dict[int, int] = {}
+    for gpu, gpu_trace in trace.gpu_traces.items():
+        count = 0
+        for lane in gpu_trace.lanes:
+            for addr, write in zip(lane.addrs, lane.writes):
+                if not write and trace.initial_owners[page_of(addr)] != gpu:
+                    count += 1
+        remote_reads[gpu] = count
+
+    out: list[Violation] = []
+    expected = rounds_of(cell.scale) * expected_of(cell.n_gpus, owned_blocks)
+    for gpu, count in sorted(remote_reads.items()):
+        if count != expected:
+            out.append(Violation(
+                oracle="analytic.collective_conservation",
+                law=law_text,
+                cells=[cell],
+                message=f"GPU {gpu} remote-read volume breaks the ring schedule",
+                observed=count,
+                expected=expected,
+            ))
+            break  # one per cell is enough; the trace is shared anyway
+    return out
+
+
+__all__ = [
+    "RING_WORKLOADS",
+    "check_report",
+    "check_traffic_accounting",
+    "check_metadata_bytes",
+    "check_otp_accounting",
+    "check_pool_conservation",
+    "check_ack_ledger",
+    "check_collective_trace",
+]

@@ -1,0 +1,231 @@
+"""The conformance harness: matrices, fan-out, oracle dispatch, shrinking.
+
+``repro-sim verify`` runs one of two matrices through every oracle family:
+
+* ``--quick`` — three representative workloads (regular, irregular, and a
+  ring collective) across all seven schemes at a small scale, plus a small
+  metamorphic set.  Minutes; this is the CI smoke gate.
+* ``--full`` — the whole Table IV suite plus every collective across all
+  schemes at the paper's sweep scale, metamorphic checks over the quick
+  workloads, dormant-config variants, and a second-seed stability pass.
+
+The plain-cell matrix fans out through :class:`~repro.runner.SweepRunner`
+(trace sharing, caching, worker processes all apply); metamorphic
+perturbations run through :func:`~repro.runner.jobs.execute_job` directly,
+because the sweep cache would collapse a perturbed cell back onto its
+plain key.  Every violation is then handed to the shrinker and written as
+a replayable JSON artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.workloads import all_collectives, all_workloads
+
+from repro.verify import analytic, differential, metamorphic
+from repro.verify.shrinker import UNSHRINKABLE, shrink
+from repro.verify.violations import CellRef, Violation
+
+#: every scheme, baseline first (mirrors the CLI's SCHEMES tuple)
+ALL_SCHEMES = ("unsecure", "ideal", "private", "shared", "cached", "dynamic", "batching")
+
+#: quick-matrix workloads: one regular kernel, one irregular, one collective
+QUICK_WORKLOADS = ("fir", "matrixtranspose", "allreduce_ring")
+QUICK_SCALE = 0.25
+FULL_SCALE = 0.5
+
+#: workloads carrying the metamorphic set (relabel / dormant / batch_size=1)
+METAMORPHIC_WORKLOADS = QUICK_WORKLOADS
+
+#: second seed for the --full stability pass
+STABILITY_SEED_OFFSET = 1
+
+DEFAULT_ARTIFACT_DIR = Path("results") / "verify"
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of one harness run."""
+
+    mode: str
+    cells: int = 0
+    checks: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    artifacts: list[Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def matrix_cells(mode: str, *, n_gpus: int, seed: int, scale: float | None = None) -> list[CellRef]:
+    """The plain-cell matrix for one mode."""
+    if mode == "quick":
+        names = list(QUICK_WORKLOADS)
+        scale = QUICK_SCALE if scale is None else scale
+    elif mode == "full":
+        names = [s.name for s in all_workloads()] + [s.name for s in all_collectives()]
+        scale = FULL_SCALE if scale is None else scale
+    else:
+        raise ValueError(f"unknown verify mode {mode!r}")
+    return [
+        CellRef(workload=w, scheme=s, n_gpus=n_gpus, seed=seed, scale=scale)
+        for w in names
+        for s in ALL_SCHEMES
+    ]
+
+
+def _run_matrix(runner, cells: list[CellRef]):
+    reports = runner.run_jobs([cell.job() for cell in cells])
+    return dict(zip(cells, reports))
+
+
+def _group(results: dict[CellRef, object]):
+    """Group a matrix by (workload, gpus, seed, scale) into scheme dicts."""
+    groups: dict[tuple, tuple[dict, dict]] = {}
+    for cell, report in results.items():
+        key = (cell.workload, cell.n_gpus, cell.seed, cell.scale, cell.variant)
+        cells_by, reports_by = groups.setdefault(key, ({}, {}))
+        cells_by[cell.scheme] = cell
+        reports_by[cell.scheme] = report
+    return groups
+
+
+def _geomeans(groups) -> dict[str, float]:
+    """Fleet geomean slowdown per chain scheme over complete groups."""
+    logs: dict[str, list[float]] = {s: [] for s in differential.GEOMEAN_CHAIN}
+    for _cells, reports in groups:
+        base = reports.get("unsecure")
+        if base is None or any(s not in reports for s in differential.GEOMEAN_CHAIN):
+            continue
+        for s in differential.GEOMEAN_CHAIN:
+            logs[s].append(math.log(reports[s].slowdown_vs(base)))
+    return {
+        s: math.exp(sum(v) / len(v)) for s, v in logs.items() if v
+    }
+
+
+def run_verify(
+    mode: str = "quick",
+    *,
+    n_gpus: int = 4,
+    seed: int = 1,
+    runner=None,
+    do_shrink: bool = True,
+    artifact_dir: str | Path = DEFAULT_ARTIFACT_DIR,
+    log=print,
+) -> VerifyResult:
+    """Run the harness end to end; returns the violations and artifacts."""
+    if runner is None:
+        from repro.runner import SweepRunner
+
+        runner = SweepRunner()
+    result = VerifyResult(mode=mode)
+
+    cells = matrix_cells(mode, n_gpus=n_gpus, seed=seed)
+    log(f"verify[{mode}]: running {len(cells)} plain cells")
+    results = _run_matrix(runner, cells)
+    result.cells = len(results)
+    trace_store = runner.trace_store
+
+    # -- analytic ----------------------------------------------------------
+    for cell, report in results.items():
+        result.violations += analytic.check_report(cell, report)
+        result.checks += 1
+    for cell in cells:
+        if cell.scheme != "unsecure" or cell.workload not in analytic.RING_WORKLOADS:
+            continue
+        job = cell.job()
+        trace, _ = trace_store.get_or_generate(
+            job.spec, cell.n_gpus, cell.seed, cell.scale, job.n_lanes
+        )
+        result.violations += analytic.check_collective_trace(cell, trace)
+        result.checks += 1
+
+    # -- differential ------------------------------------------------------
+    groups = _group(results)
+    for cells_by, reports_by in groups.values():
+        result.violations += differential.check_group(cells_by, reports_by)
+        result.checks += 1
+    result.violations += differential.check_geomean_chain(list(groups.values()))
+    result.checks += 1
+
+    # -- metamorphic -------------------------------------------------------
+    meta_schemes = (
+        ("ideal", "private", "dynamic", "batching")
+        if mode == "quick"
+        else ALL_SCHEMES
+    )
+    meta_cells = [
+        c for c in cells
+        if c.workload in METAMORPHIC_WORKLOADS and c.scheme in meta_schemes
+    ]
+    log(f"verify[{mode}]: metamorphic perturbations on {len(meta_cells)} cells")
+    for cell in meta_cells:
+        job = cell.job()
+        trace, _ = trace_store.get_or_generate(
+            job.spec, cell.n_gpus, cell.seed, cell.scale, job.n_lanes
+        )
+        result.violations += metamorphic.check_relabel(cell, trace, results[cell])
+        result.checks += 1
+        if cell.scheme == "dynamic":
+            result.violations += metamorphic.check_batch_size_one(cell, trace)
+            result.checks += 1
+        if cell.scheme in ("dynamic", "batching") or mode == "full":
+            result.violations += metamorphic.check_dormant(cell, trace, results[cell])
+            result.checks += 1
+
+    # -- seed stability (full mode only: one extra quick-size matrix) ------
+    if mode == "full":
+        seed2 = seed + STABILITY_SEED_OFFSET
+        stability_cells = {
+            s: matrix_cells("quick", n_gpus=n_gpus, seed=s) for s in (seed, seed2)
+        }
+        log(f"verify[{mode}]: seed-stability pass at seeds {seed} and {seed2}")
+        geomeans = {}
+        for s, cset in stability_cells.items():
+            sres = _run_matrix(runner, cset)
+            geomeans[s] = _geomeans(list(_group(sres).values()))
+        result.violations += metamorphic.check_seed_stability(geomeans)
+        result.checks += 1
+
+    # -- shrink + artifacts ------------------------------------------------
+    if result.violations and do_shrink:
+        artifact_dir = Path(artifact_dir)
+        for i, violation in enumerate(result.violations):
+            log(f"shrinking violation {i + 1}/{len(result.violations)}: {violation.oracle}")
+            artifact = shrink(violation, trace_store=trace_store)
+            path = artifact.save(artifact_dir / f"violation-{i:03d}.json")
+            result.artifacts.append(path)
+
+    return result
+
+
+def format_result(result: VerifyResult) -> str:
+    lines = [
+        f"verify[{result.mode}]: {result.cells} cells, "
+        f"{result.checks} checks, {len(result.violations)} violation(s)"
+    ]
+    for violation in result.violations:
+        lines.append("")
+        lines.append(violation.describe())
+        if violation.oracle in UNSHRINKABLE:
+            lines.append("  (fleet-level law: artifact reported unshrunk)")
+    for path in result.artifacts:
+        lines.append(f"repro artifact: {path}")
+    if result.ok:
+        lines.append("all conformance laws hold")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ALL_SCHEMES",
+    "QUICK_WORKLOADS",
+    "VerifyResult",
+    "matrix_cells",
+    "run_verify",
+    "format_result",
+]

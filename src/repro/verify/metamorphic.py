@@ -1,0 +1,273 @@
+"""Metamorphic oracles: known input transformations, predictable outputs.
+
+Each check perturbs a cell in a way whose effect on the result is known in
+closed form, runs the perturbed cell (always through
+:func:`~repro.runner.jobs.execute_job` directly — the sweep cache would
+collapse the perturbation back onto the original key), and compares:
+
+* **GPU relabeling** — permuting GPU identities permutes the roles but not
+  the physics.  The static schemes (unsecure, ideal, private, shared) are
+  fully timing-equivariant: the relabeled report equals the original with
+  its per-GPU map permuted.  The adaptive schemes (dynamic, batching,
+  cached) are *not*: their allocators break exact EWMA ties by peer index,
+  so a relabeling can flip a tie and shift pad placement — timing then
+  legitimately diverges, but the delivered payload must not.  The oracle
+  therefore checks full equality for the static schemes and payload
+  symmetry for all of them (see docs/VERIFICATION.md, "Relabeling scope").
+* **batch_size=1** — a batch of one is conventional messaging wearing the
+  batched wire format: every block opens and full-closes its own batch, so
+  message counts and ACK counts match the dynamic scheme exactly and the
+  metadata bytes differ by precisely one ``batch_len`` byte per block
+  (9 + 1 + 8 = 18 B vs 17 B conventional).
+* **dormant sections** — a fault/adversary config whose every injection
+  rate is zero must be behaviorally invisible: the serialized report is
+  byte-identical to the plain cell's.
+* **seed stability** — the fleet-level scheme ordering (the paper's actual
+  claim) must not depend on the trace seed: the rank order of geomean
+  slowdowns is identical across seeds.  Schemes whose geomeans sit within
+  :data:`STABILITY_TOLERANCE` of each other are a statistical tie — at
+  smoke-matrix fleet sizes batching and private land within ~2% of each
+  other and legitimately swap with the seed — so the oracle ranks *tie
+  classes*, not raw floats: only a reordering across a gap wider than the
+  tolerance is a violation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.runner import execute_job, report_to_dict
+from repro.workloads.compiled import CompiledGpuTrace, CompiledTrace
+
+from repro.verify.violations import CellRef, Violation, metric_value
+
+#: schemes whose timing is fully equivariant under GPU relabeling
+FULL_EQUIVARIANT = frozenset({"unsecure", "ideal", "private", "shared"})
+
+#: payload fields every scheme must keep invariant under relabeling
+PAYLOAD_FIELDS = ("base_traffic_bytes", "remote_requests", "migrations")
+
+
+def rotation_sigma(n_gpus: int) -> dict[int, int]:
+    """The canonical test permutation: rotate GPU ids 1..N by one."""
+    return {g: g % n_gpus + 1 for g in range(1, n_gpus + 1)}
+
+
+def relabel_trace(trace: CompiledTrace, sigma: dict[int, int]) -> CompiledTrace:
+    """Apply a GPU permutation to a compiled trace.
+
+    GPU ``sigma[g]`` replays ``g``'s lanes and inherits ``g``'s pages; the
+    host (node 0) and pinned pages are fixed points.  Addresses stay
+    untouched — remoteness is a relation between accessor and owner, and
+    both sides move together.
+    """
+    gpu_traces: dict[int, CompiledGpuTrace] = {
+        sigma[g]: t for g, t in trace.gpu_traces.items()
+    }
+    owners = {
+        page: sigma.get(owner, owner) for page, owner in trace.initial_owners.items()
+    }
+    return CompiledTrace(
+        name=trace.name,
+        gpu_traces=gpu_traces,
+        pinned_pages=trace.pinned_pages,
+        initial_owners=owners,
+    )
+
+
+def _canonical(report) -> str:
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+def check_relabel(cell: CellRef, trace: CompiledTrace, plain_report) -> list[Violation]:
+    """Run the rotated trace and compare at the scheme's equivariance level."""
+    sigma = rotation_sigma(cell.n_gpus)
+    rotated = execute_job(cell.job(), trace=relabel_trace(trace, sigma))
+    out: list[Violation] = []
+
+    payload = {
+        f: (getattr(plain_report, f), getattr(rotated, f)) for f in PAYLOAD_FIELDS
+    }
+    broken = {f: pair for f, pair in payload.items() if pair[0] != pair[1]}
+    if broken:
+        out.append(Violation(
+            oracle="metamorphic.relabel_payload",
+            law="GPU relabeling preserves delivered payload for every scheme",
+            cells=[cell],
+            message="rotating GPU identities changed the delivered work",
+            observed={f: {"plain": a, "rotated": b} for f, (a, b) in broken.items()},
+            data={"sigma": {str(k): v for k, v in sigma.items()}},
+        ))
+        return out  # timing comparison is meaningless on different payloads
+
+    if cell.scheme in FULL_EQUIVARIANT:
+        expect_finish = {
+            sigma.get(node, node): cycle
+            for node, cycle in plain_report.per_gpu_finish.items()
+        }
+        mismatches = {}
+        if rotated.execution_cycles != plain_report.execution_cycles:
+            mismatches["execution_cycles"] = {
+                "plain": plain_report.execution_cycles,
+                "rotated": rotated.execution_cycles,
+            }
+        if rotated.traffic_bytes != plain_report.traffic_bytes:
+            mismatches["traffic_bytes"] = {
+                "plain": plain_report.traffic_bytes,
+                "rotated": rotated.traffic_bytes,
+            }
+        if rotated.per_gpu_finish != expect_finish:
+            mismatches["per_gpu_finish"] = {
+                "expected": expect_finish,
+                "rotated": rotated.per_gpu_finish,
+            }
+        if mismatches:
+            out.append(Violation(
+                oracle="metamorphic.relabel_timing",
+                law="static schemes are fully timing-equivariant under relabeling",
+                cells=[cell],
+                message=f"{cell.scheme} timing is not symmetric under GPU rotation",
+                observed=mismatches,
+                data={"sigma": {str(k): v for k, v in sigma.items()}},
+            ))
+    return out
+
+
+def check_batch_size_one(cell: CellRef, trace: CompiledTrace) -> list[Violation]:
+    """batch_size=1 == conventional messaging + one length byte per block."""
+    if cell.scheme != "dynamic":
+        return []
+    dynamic = execute_job(cell.job(), trace=trace)
+    bs1_cell = CellRef(
+        workload=cell.workload, scheme="batching", n_gpus=cell.n_gpus,
+        seed=cell.seed, scale=cell.scale,
+    )
+    bs1_job = bs1_cell.job()
+    bs1_job = type(bs1_job)(
+        spec=bs1_job.spec,
+        config=bs1_job.config.with_security(batch_size=1),
+        seed=bs1_job.seed,
+        scale=bs1_job.scale,
+        n_lanes=bs1_job.n_lanes,
+    )
+    bs1 = execute_job(bs1_job, trace=trace)
+    if dynamic.migrations != 0 or bs1.migrations != 0:
+        return []  # timing-coupled migration schedules decouple the mixes
+    out: list[Violation] = []
+    conv = metric_value(dynamic, "meta.conventional_msgs")
+    blk = metric_value(bs1, "meta.batched_blocks")
+    if conv != blk or dynamic.acks_sent != bs1.acks_sent:
+        out.append(Violation(
+            oracle="metamorphic.batch_size_one",
+            law="batch_size=1 sends one block-batch (and one ACK) per "
+                "conventional message",
+            cells=[cell, bs1_cell],
+            message="singleton batching changed the message/ACK counts",
+            observed={
+                "conventional_msgs": conv, "batched_blocks": blk,
+                "acks": {"dynamic": dynamic.acks_sent, "batch_size_1": bs1.acks_sent},
+            },
+        ))
+        return out
+    len_bytes = cell.config().security.metadata.batch_len_bytes
+    expected = dynamic.meta_traffic_bytes + blk * len_bytes
+    if bs1.meta_traffic_bytes != expected:
+        out.append(Violation(
+            oracle="metamorphic.batch_size_one",
+            law="batch_size=1 metadata == conventional metadata "
+                "+ batch_len_bytes per block",
+            cells=[cell, bs1_cell],
+            message="singleton-batch metadata bytes deviate from the 17 B -> 18 B law",
+            observed=bs1.meta_traffic_bytes,
+            expected=expected,
+        ))
+    return out
+
+
+def check_dormant(cell: CellRef, trace: CompiledTrace, plain_report) -> list[Violation]:
+    """Zero-rate fault/adversary sections must be behaviorally invisible."""
+    if cell.variant != "plain":
+        return []
+    plain_canon = _canonical(plain_report)
+    out: list[Violation] = []
+    for variant in ("dormant_fault", "dormant_adversary"):
+        dormant_cell = CellRef(
+            workload=cell.workload, scheme=cell.scheme, n_gpus=cell.n_gpus,
+            seed=cell.seed, scale=cell.scale, variant=variant,
+        )
+        dormant = execute_job(dormant_cell.job(), trace=trace)
+        if _canonical(dormant) != plain_canon:
+            diff_fields = [
+                f for f in (
+                    "execution_cycles", "traffic_bytes", "meta_traffic_bytes",
+                    "remote_requests", "migrations", "acks_sent",
+                )
+                if getattr(dormant, f) != getattr(plain_report, f)
+            ]
+            out.append(Violation(
+                oracle="metamorphic.dormant_config",
+                law="zero-rate fault/adversary sections are byte-invisible",
+                cells=[cell, dormant_cell],
+                message=f"a dormant {variant.split('_')[1]} section changed the run",
+                observed={"differing_fields": diff_fields or ["(serialization only)"]},
+            ))
+    return out
+
+
+#: schemes whose geomean slowdowns differ by less than this (in log space,
+#: ~5% relative) are one tie class for ranking purposes
+STABILITY_TOLERANCE = 0.05
+
+
+def _tie_classes(geo: dict[str, float]) -> tuple[tuple[str, ...], ...]:
+    """Rank schemes by geomean, merging near-ties into sorted classes."""
+    ordered = sorted(geo, key=lambda s: (geo[s], s))
+    classes: list[list[str]] = []
+    for scheme in ordered:
+        if classes and math.log(geo[scheme]) - math.log(geo[classes[-1][0]]) < STABILITY_TOLERANCE:
+            classes[-1].append(scheme)
+        else:
+            classes.append([scheme])
+    return tuple(tuple(sorted(c)) for c in classes)
+
+
+def check_seed_stability(
+    geomeans_by_seed: dict[int, dict[str, float]]
+) -> list[Violation]:
+    """The fleet-level scheme ranking must be identical across seeds."""
+    if len(geomeans_by_seed) < 2:
+        return []
+    rankings = {
+        seed: _tie_classes(geo) for seed, geo in sorted(geomeans_by_seed.items())
+    }
+    if len(set(rankings.values())) == 1:
+        return []
+    return [Violation(
+        oracle="metamorphic.seed_stability",
+        law="geomean scheme ordering is invariant across trace seeds",
+        cells=[],
+        message="changing the trace seed reordered the fleet-level scheme ranking",
+        observed={
+            str(seed): [list(c) for c in rank] for seed, rank in rankings.items()
+        },
+        data={
+            "geomeans": {
+                str(seed): {s: round(g, 6) for s, g in geo.items()}
+                for seed, geo in geomeans_by_seed.items()
+            }
+        },
+    )]
+
+
+__all__ = [
+    "FULL_EQUIVARIANT",
+    "PAYLOAD_FIELDS",
+    "STABILITY_TOLERANCE",
+    "rotation_sigma",
+    "relabel_trace",
+    "check_relabel",
+    "check_batch_size_one",
+    "check_dormant",
+    "check_seed_stability",
+]

@@ -61,6 +61,25 @@ class TestLargestRemainder:
         with pytest.raises(ValueError):
             largest_remainder(1, [-0.5])
 
+    def test_equal_weight_ties_break_by_ascending_index(self):
+        # Contract: largest remainder, then largest weight, then ascending
+        # index.  On a full tie the spare units go to the lowest indices.
+        assert largest_remainder(10, [1.0, 1.0, 1.0]) == [4, 3, 3]
+        assert largest_remainder(11, [1.0, 1.0, 1.0]) == [4, 4, 3]
+        assert largest_remainder(7, [1.0] * 5) == [2, 2, 1, 1, 1]
+
+    def test_equal_remainder_ties_prefer_larger_weight(self):
+        # Remainders tie at 0.5/0.5; the heavier peer gets the spare unit
+        # even though it sits at the higher index.
+        assert largest_remainder(2, [1.0, 3.0]) == [0, 2]
+        assert largest_remainder(3, [1.0, 1.0]) == [2, 1]
+
+    def test_tie_break_is_stable_under_appended_peers(self):
+        # Adding a zero-weight peer must not reshuffle existing shares.
+        base = largest_remainder(9, [1.0, 1.0, 1.0])
+        extended = largest_remainder(9, [1.0, 1.0, 1.0, 0.0])
+        assert extended[:3] == base and extended[3] == 0
+
 
 class TestDynamicAllocator:
     def _alloc(self, pool=32, peers=(0, 2, 3, 4)):
@@ -232,6 +251,41 @@ class TestBatchingController:
         g1 = c.add_block(2, 0)
         c.add_block(2, 1)  # closes batch g1
         assert c.timeout_close(2, g1.batch_id) is None
+
+    def test_stale_timeout_is_a_counted_noop(self):
+        # The size-close vs. timeout-close race: the timer loses and must
+        # change nothing — no close counter, no batch state, only the
+        # stale_timeouts observability counter moves.
+        c = self._controller(batch_size=2)
+        g1 = c.add_block(2, 0)
+        c.add_block(2, 1)  # full close wins the race
+        full, timeout = c.batches_closed_full, c.batches_closed_timeout
+        assert c.timeout_close(2, g1.batch_id) is None
+        assert c.stale_timeouts == 1
+        assert (c.batches_closed_full, c.batches_closed_timeout) == (full, timeout)
+        assert c.open_batch(2) is None
+
+    def test_stale_timeout_never_touches_the_successor_batch(self):
+        # Interleaving: batch A full-closes, batch B opens toward the same
+        # peer, then A's stale timer fires.  B must stay open and intact,
+        # and B's *own* timer must still close it normally afterwards.
+        c = self._controller(batch_size=2)
+        ga = c.add_block(2, 0)
+        c.add_block(2, 1)  # A closes full
+        gb = c.add_block(2, 5)  # B opens
+        assert c.timeout_close(2, ga.batch_id) is None  # A's timer, stale
+        assert c.stale_timeouts == 1
+        assert c.open_batch(2) == (gb.batch_id, 1)
+        assert c.timeout_close(2, gb.batch_id) == 1  # B's timer, live
+        assert c.batches_closed_timeout == 1
+        # ...and B's id is now stale too: a duplicate timer is a no-op.
+        assert c.timeout_close(2, gb.batch_id) is None
+        assert c.stale_timeouts == 2
+
+    def test_batch_ids_never_reused_across_peers_or_batches(self):
+        c = self._controller(batch_size=1)
+        seen = {c.add_block(p, t).batch_id for t, p in enumerate((2, 3, 2, 4, 3))}
+        assert len(seen) == 5
 
     def test_batched_meta_is_smaller_than_conventional(self):
         c = self._controller(batch_size=16)

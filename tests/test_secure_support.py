@@ -228,3 +228,101 @@ class TestReplayGuardWindow:
         assert not g.on_ack(2, counter=99)  # never sent
         assert g.violations == 1
         assert g.outstanding(2) == 2  # queue untouched
+
+
+class TestReplayGuardMixedChannels:
+    """Batch-tagged and conventional entries share a queue but not a FIFO.
+
+    The windowed-ACK edge cases: a blind FIFO ``on_ack(counter=None)``
+    must not retire batch-tagged entries that a later batch ACK needs, and
+    conventional-ACK freshness depth is measured over untagged entries
+    only — batch entries parked at the head are on the slower channel, not
+    "overtaken".
+    """
+
+    def test_batch_entries_at_head_do_not_count_toward_depth(self):
+        # Queue: [b0 b1 | 10 11 12]; the batch is still open, so counter 10
+        # sits at untagged depth 0 and must ACK cleanly even under w=0.
+        g = ReplayGuard(1, window=0)
+        g.on_send(2, 0, batch_id=7)
+        g.on_send(2, 1, batch_id=7)
+        for c in (10, 11, 12):
+            g.on_send(2, c)
+        assert g.on_ack(2, counter=10)
+        assert g.violations == 0 and g.reorder_accepts == 0
+        # the batch ACK then retires exactly its own members
+        assert g.on_ack(2, batch_id=7)
+        assert g.outstanding(2) == 2
+        assert g.acked == 3
+
+    def _mixed(self, window: int) -> ReplayGuard:
+        # Queue: [b0 10 11 b1 12 13] — untagged subsequence [10 11 12 13]
+        # interleaved with batch-5 tags at both ends.
+        g = ReplayGuard(1, window=window)
+        g.on_send(2, 0, batch_id=5)
+        for c in (10, 11):
+            g.on_send(2, c)
+        g.on_send(2, 1, batch_id=5)
+        for c in (12, 13):
+            g.on_send(2, c)
+        return g
+
+    def test_untagged_depth_window_minus_one_accepted(self):
+        w = 3
+        g = self._mixed(w)
+        assert g.on_ack(2, counter=12)  # untagged depth 2 == W-1
+        assert g.violations == 0
+        assert g.max_reorder_depth == w - 1
+        assert g.outstanding(2) == 5  # nothing dropped, tags intact
+
+    def test_untagged_depth_window_resyncs_but_spares_tagged(self):
+        g = self._mixed(3)
+        assert not g.on_ack(2, counter=13)  # untagged depth 3 == W: resync
+        assert g.violations == 1
+        assert g.dropped == 3  # 10, 11, 12; the tagged 0 and 1 survive
+        # both batch members are still retirable by their batch ACK
+        assert g.on_ack(2, batch_id=5)
+        assert g.outstanding(2) == 0
+        assert g.violations == 1  # no new violation from the batch ACK
+
+    def test_window_zero_mixed_queue_stays_strict_on_untagged(self):
+        g = ReplayGuard(1, window=0)
+        g.on_send(2, 0, batch_id=3)
+        g.on_send(2, 10)
+        g.on_send(2, 11)
+        assert not g.on_ack(2, counter=11)  # untagged depth 1: violation
+        assert g.violations == 1
+        assert g.dropped == 1  # 10 resynced away; the tagged 0 survives
+        assert g.on_ack(2, batch_id=3)
+        assert g.outstanding(2) == 0
+
+    def test_blind_fifo_ack_with_mixed_queue_retires_head(self):
+        # Legacy channel: counter-less FIFO retirement is position-blind by
+        # contract; guard ledgers must still balance afterwards.
+        g = ReplayGuard(1)
+        g.on_send(2, 0)
+        g.on_send(2, 1)
+        assert g.on_ack(2)  # blind FIFO: retires 0
+        assert g.on_ack(2, counter=1)
+        assert g.outstanding(2) == 0 and g.acked == 2
+
+    def test_double_acked_batch_is_a_violation_and_a_noop(self):
+        g = ReplayGuard(1)
+        g.on_send(2, 0, batch_id=9)
+        g.on_send(2, 10)
+        assert g.on_ack(2, batch_id=9)
+        before = g.outstanding(2)
+        assert not g.on_ack(2, batch_id=9)  # replayed batch ACK
+        assert g.violations == 1
+        assert g.outstanding(2) == before
+
+    def test_retire_lost_discards_the_batch_tag(self):
+        # A retransmitted block is voided; the later batch ACK answers only
+        # the surviving member and must not resurrect the voided one.
+        g = ReplayGuard(1)
+        g.on_send(2, 0, batch_id=4)
+        g.on_send(2, 1, batch_id=4)
+        assert g.retire_lost(2, 0)
+        assert g.on_ack(2, batch_id=4)
+        assert g.acked == 1 and g.dropped == 1
+        assert g.outstanding(2) == 0

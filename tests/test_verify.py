@@ -1,0 +1,330 @@
+"""Tests for the differential conformance harness (``repro.verify``).
+
+Two halves:
+
+* a clean build passes every oracle family on a small cell set, and
+* deliberately seeded bugs — an off-by-one in the metadata wire bytes, a
+  transport that drops ACKs, an allocator that mints pool entries, a
+  batcher that inflates block metadata — are each *caught* by the oracle
+  family built to catch that class, and the shrinker reduces the failure
+  to a replayable artifact of at most two cells.
+
+Seeded bugs are injected with ``monkeypatch`` and all seeded runs go
+through :func:`~repro.runner.jobs.execute_job` directly: worker processes
+would not see the patch and the persistent cache must never be poisoned
+with bugged results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs import AdversaryConfig
+from repro.runner import execute_job
+from repro.secure.channel import SecureTransport
+from repro.secure.metadata import MetadataAccountant
+from repro.verify import CellRef, ReproArtifact, Violation, evaluate_cells, shrink
+from repro.verify import analytic, differential, metamorphic
+from repro.workloads import get_workload
+
+SCALE = 0.1
+N_GPUS = 4
+WORKLOAD = "matrixtranspose"  # migration-free at this scale: every oracle applies
+
+SCHEMES = ("unsecure", "ideal", "private", "shared", "cached", "dynamic", "batching")
+
+
+def _cell(scheme: str, workload: str = WORKLOAD, scale: float = SCALE) -> CellRef:
+    return CellRef(workload=workload, scheme=scheme, n_gpus=N_GPUS, seed=1, scale=scale)
+
+
+def _trace(workload: str = WORKLOAD, scale: float = SCALE, n_gpus: int = N_GPUS):
+    from repro.workloads.compiled import compile_trace
+
+    return compile_trace(
+        get_workload(workload).generate(n_gpus=n_gpus, seed=1, scale=scale, n_lanes=8)
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_group():
+    """One migration-free workload across all schemes, one shared trace."""
+    trace = _trace()
+    cells = {s: _cell(s) for s in SCHEMES}
+    reports = {s: execute_job(cells[s].job(), trace=trace) for s in SCHEMES}
+    return trace, cells, reports
+
+
+# ---------------------------------------------------------------------------
+# A clean build passes
+# ---------------------------------------------------------------------------
+class TestCleanBuild:
+    def test_analytic_oracles_pass(self, clean_group):
+        _trace_, cells, reports = clean_group
+        for scheme in SCHEMES:
+            assert analytic.check_report(cells[scheme], reports[scheme]) == []
+
+    def test_differential_oracles_pass(self, clean_group):
+        _trace_, cells, reports = clean_group
+        assert differential.check_group(cells, reports) == []
+
+    def test_collective_conservation_passes(self):
+        cell = _cell("unsecure", workload="allreduce_ring", scale=0.25)
+        trace = _trace("allreduce_ring", scale=0.25)
+        assert analytic.check_collective_trace(cell, trace) == []
+
+    def test_collective_conservation_catches_a_missing_transfer(self):
+        from repro.workloads.compiled import (
+            CompiledGpuTrace, CompiledLane, CompiledTrace,
+        )
+
+        from repro.memory.address_space import page_of
+
+        trace = _trace("allreduce_ring", scale=0.25)
+        victim = trace.gpu_traces[1]
+        lane_idx, access_idx = next(
+            (li, ai)
+            for li, lane in enumerate(victim.lanes)
+            for ai, (addr, write) in enumerate(zip(lane.addrs, lane.writes))
+            if not write and trace.initial_owners[page_of(addr)] != 1
+        )
+        lane = victim.lanes[lane_idx]
+
+        def cut_at(seq, i):
+            return seq[:i] + seq[i + 1 :]
+
+        cut = CompiledLane(
+            cut_at(lane.gaps, access_idx),
+            cut_at(lane.addrs, access_idx),
+            cut_at(lane.writes, access_idx),
+        )
+        tampered = CompiledTrace(
+            name=trace.name,
+            gpu_traces={
+                **trace.gpu_traces,
+                1: CompiledGpuTrace(
+                    (*victim.lanes[:lane_idx], cut, *victim.lanes[lane_idx + 1 :]),
+                    victim.instructions,
+                ),
+            },
+            pinned_pages=trace.pinned_pages,
+            initial_owners=trace.initial_owners,
+        )
+        cell = _cell("unsecure", workload="allreduce_ring", scale=0.25)
+        found = analytic.check_collective_trace(cell, tampered)
+        assert [v.oracle for v in found] == ["analytic.collective_conservation"]
+
+    def test_relabel_passes_for_static_and_adaptive_schemes(self, clean_group):
+        trace, cells, reports = clean_group
+        for scheme in ("ideal", "private", "dynamic", "batching"):
+            assert metamorphic.check_relabel(cells[scheme], trace, reports[scheme]) == []
+
+    def test_dormant_configs_are_invisible(self, clean_group):
+        trace, cells, reports = clean_group
+        assert metamorphic.check_dormant(cells["batching"], trace, reports["batching"]) == []
+
+    def test_batch_size_one_matches_conventional(self, clean_group):
+        trace, cells, _reports = clean_group
+        assert metamorphic.check_batch_size_one(cells["dynamic"], trace) == []
+
+    def test_seed_stability_tolerates_near_ties(self):
+        geo = {
+            1: {"ideal": 1.03, "batching": 1.20, "private": 1.22, "shared": 2.0},
+            2: {"ideal": 1.02, "batching": 1.23, "private": 1.21, "shared": 1.9},
+        }
+        assert metamorphic.check_seed_stability(geo) == []
+
+    def test_seed_stability_flags_a_wide_reordering(self):
+        geo = {
+            1: {"ideal": 1.0, "batching": 1.2, "private": 1.5, "shared": 2.0},
+            2: {"ideal": 1.0, "batching": 1.5, "private": 1.2, "shared": 2.0},
+        }
+        found = metamorphic.check_seed_stability(geo)
+        assert [v.oracle for v in found] == ["metamorphic.seed_stability"]
+
+
+# ---------------------------------------------------------------------------
+# Seeded bugs: each oracle family catches its class
+# ---------------------------------------------------------------------------
+class TestSeededBugs:
+    def test_metadata_off_by_one_caught_by_analytic(self, monkeypatch):
+        original = MetadataAccountant.conventional_meta
+        monkeypatch.setattr(
+            MetadataAccountant,
+            "conventional_meta",
+            lambda self, packet: original(self, packet) + 1,
+        )
+        cell = _cell("dynamic")
+        report = execute_job(cell.job(), trace=_trace())
+        oracles = {v.oracle for v in analytic.check_report(cell, report)}
+        assert "analytic.metadata_bytes" in oracles
+
+    def test_dropped_acks_caught_by_ledger_oracle(self, monkeypatch):
+        monkeypatch.setattr(
+            SecureTransport, "_send_ack", lambda self, *a, **kw: None
+        )
+        cell = _cell("private")
+        report = execute_job(cell.job(), trace=_trace())
+        oracles = {v.oracle for v in analytic.check_report(cell, report)}
+        assert "analytic.ack_ledger" in oracles
+
+    def test_leaked_pool_entries_caught_by_conservation_oracle(self, monkeypatch):
+        import repro.core.dynamic_allocator as da
+
+        original = da.largest_remainder
+
+        def minting(total, weights):
+            shares = original(total, weights)
+            if shares:
+                shares[0] += 1  # the leak: one entry from nowhere
+            return shares
+
+        monkeypatch.setattr(da, "largest_remainder", minting)
+        # the internal validation would catch the leak first; the seeded
+        # bug includes silencing it, which is exactly what the external
+        # conservation oracle exists to survive
+        monkeypatch.setattr(da.AllocationPlan, "validate", lambda self, pool: None)
+        cell = _cell("dynamic")
+        report = execute_job(cell.job(), trace=_trace())
+        oracles = {v.oracle for v in analytic.check_report(cell, report)}
+        assert "analytic.pool_conservation" in oracles
+
+    def test_inflated_batch_meta_caught_by_differential_and_metamorphic(
+        self, monkeypatch
+    ):
+        original = MetadataAccountant.batched_block_meta
+
+        def inflated(self, opens_batch, closes_batch):
+            return original(self, opens_batch, closes_batch) + 64
+
+        monkeypatch.setattr(MetadataAccountant, "batched_block_meta", inflated)
+        trace = _trace()
+        cells = {s: _cell(s) for s in ("dynamic", "batching")}
+        reports = {s: execute_job(cells[s].job(), trace=trace) for s in cells}
+        diff_oracles = {v.oracle for v in differential.check_group(cells, reports)}
+        assert "differential.metadata_dominance" in diff_oracles
+        meta_oracles = {
+            v.oracle for v in metamorphic.check_batch_size_one(cells["dynamic"], trace)
+        }
+        assert "metamorphic.batch_size_one" in meta_oracles
+
+    def test_dormant_section_leak_caught_by_metamorphic(self, monkeypatch):
+        # Seeded bug: a dormant adversary section (all rates zero) arms the
+        # injector anyway — the report then carries an attack_report and is
+        # no longer byte-identical to the plain cell.
+        monkeypatch.setattr(
+            AdversaryConfig,
+            "enabled",
+            property(lambda self: self.replay_window == 13),
+        )
+        cell = _cell("private")
+        trace = _trace()
+        plain = execute_job(cell.job(), trace=trace)
+        found = metamorphic.check_dormant(cell, trace, plain)
+        assert "metamorphic.dormant_config" in {v.oracle for v in found}
+
+
+# ---------------------------------------------------------------------------
+# Shrinker: minimal repro, replayable artifact
+# ---------------------------------------------------------------------------
+class TestShrinker:
+    def test_seeded_bug_shrinks_to_at_most_two_cells(self, monkeypatch, tmp_path):
+        original = MetadataAccountant.conventional_meta
+        monkeypatch.setattr(
+            MetadataAccountant,
+            "conventional_meta",
+            lambda self, packet: original(self, packet) + 1,
+        )
+        cell = _cell("dynamic")
+        report = execute_job(cell.job(), trace=_trace())
+        violations = [
+            v for v in analytic.check_report(cell, report)
+            if v.oracle == "analytic.metadata_bytes"
+        ]
+        assert violations
+        artifact = shrink(violations[0])
+        assert len(artifact.cells) <= 2
+        # the shrinker found a cheaper failing configuration and logged it
+        assert any("kept" in step for step in artifact.shrink_log)
+        shrunk = artifact.cells[0]
+        assert shrunk.n_gpus <= cell.n_gpus and shrunk.scale <= cell.scale
+        # the artifact replays: the bug still fires on the minimized cells
+        assert evaluate_cells(artifact.violation.oracle, artifact.cells)
+        # ...and round-trips through disk byte-exactly
+        path = artifact.save(tmp_path / "repro.json")
+        loaded = ReproArtifact.load(path)
+        assert loaded.to_dict() == artifact.to_dict()
+
+    def test_clean_build_does_not_reproduce_a_stale_artifact(self):
+        violation = Violation(
+            oracle="analytic.metadata_bytes",
+            law="meta byte law",
+            cells=[_cell("dynamic", scale=0.05)],
+            message="stale",
+        )
+        assert evaluate_cells(violation.oracle, violation.cells) == []
+
+    def test_fleet_level_violations_are_reported_unshrunk(self):
+        violation = Violation(
+            oracle="differential.geomean_chain",
+            law="fleet ordering",
+            cells=[],
+            message="synthetic",
+        )
+        artifact = shrink(violation)
+        assert artifact.cells == []
+        assert any("fleet-level" in step for step in artifact.shrink_log)
+
+    def test_group_violations_drop_to_the_failing_pair(self, monkeypatch):
+        original = MetadataAccountant.batched_block_meta
+        monkeypatch.setattr(
+            MetadataAccountant,
+            "batched_block_meta",
+            lambda self, o, c: original(self, o, c) + 64,
+        )
+        trace = _trace()
+        cells = {s: _cell(s) for s in ("unsecure", "ideal", "dynamic", "batching")}
+        reports = {s: execute_job(cells[s].job(), trace=trace) for s in cells}
+        violations = [
+            v for v in differential.check_group(cells, reports)
+            if v.oracle == "differential.metadata_dominance"
+        ]
+        assert violations
+        artifact = shrink(violations[0])
+        assert len(artifact.cells) <= 2
+        assert {c.scheme for c in artifact.cells} <= {"dynamic", "batching"}
+
+
+# ---------------------------------------------------------------------------
+# Cell/violation/artifact plumbing
+# ---------------------------------------------------------------------------
+class TestArtifacts:
+    def test_cellref_round_trips(self):
+        cell = CellRef("fir", "batching", n_gpus=2, seed=3, scale=0.25,
+                       variant="dormant_fault")
+        assert CellRef.from_dict(cell.to_dict()) == cell
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            CellRef("fir", "batching", variant="haunted")
+
+    def test_dormant_variants_keep_rates_zero(self):
+        for variant in ("dormant_fault", "dormant_adversary"):
+            cfg = CellRef("fir", "private", variant=variant).config()
+            assert not cfg.fault.enabled
+            assert not cfg.adversary.enabled
+
+    def test_artifact_schema_mismatch_rejected(self, tmp_path):
+        violation = Violation(
+            oracle="analytic.metadata_bytes", law="x", cells=[_cell("ideal")],
+            message="m",
+        )
+        artifact = ReproArtifact(violation=violation, cells=violation.cells)
+        path = artifact.save(tmp_path / "a.json")
+        import json
+
+        data = json.loads(path.read_text())
+        data["schema"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError):
+            ReproArtifact.load(path)
