@@ -13,7 +13,7 @@ fanned out over worker processes, merged back in deterministic order.
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
 from repro.runner.jobs import SweepJob, cache_salt, execute_job, is_registry_spec, job_key
 from repro.runner.serialize import report_from_dict, report_to_dict
-from repro.runner.sweep import SweepError, SweepRunner, SweepStats, resolve_jobs
+from repro.runner.sweep import SweepError, SweepRunner, SweepStats, available_cpus, resolve_jobs
 from repro.runner.trace_store import (
     DEFAULT_TRACE_DIR,
     TraceStore,
@@ -36,6 +36,7 @@ __all__ = [
     "SweepError",
     "SweepRunner",
     "SweepStats",
+    "available_cpus",
     "resolve_jobs",
     "DEFAULT_TRACE_DIR",
     "TraceStore",

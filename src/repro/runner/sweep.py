@@ -76,14 +76,35 @@ class SweepError(RuntimeError):
 AUTO_PARALLEL_MIN_CELLS = 4
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which overstates what a
+    containerized / cgroup-limited process (CI runners, the simulation
+    service in a pod) is allowed to use.  The scheduler affinity mask is
+    the truth where the platform exposes it; fall back to ``cpu_count``
+    elsewhere (macOS, some BSDs).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None) -> int:
-    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    The result is capped at :func:`available_cpus` — asking for more
+    workers than the affinity mask allows only oversubscribes the pool
+    (every worker is CPU-bound for its whole chunk), so the cap loses
+    nothing and keeps cgroup-limited runners from thrashing.
+    """
     if jobs is None:
         try:
             jobs = int(os.environ.get("REPRO_JOBS", "1"))
         except ValueError:
             jobs = 1
-    return max(1, int(jobs))
+    return max(1, min(int(jobs), available_cpus()))
 
 
 #: Process-local trace stores for pool workers, keyed by disk root: one per
@@ -251,7 +272,7 @@ class SweepRunner:
         """Pick the effective execution mode for this run."""
         if self.mode != "auto":
             return self.mode
-        if n_workers <= 1 or (os.cpu_count() or 1) <= 1:
+        if n_workers <= 1 or available_cpus() <= 1:
             return "serial"
         if n_pending < AUTO_PARALLEL_MIN_CELLS:
             return "serial"
@@ -436,5 +457,6 @@ __all__ = [
     "SweepRunner",
     "SweepStats",
     "SweepError",
+    "available_cpus",
     "resolve_jobs",
 ]

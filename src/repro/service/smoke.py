@@ -1,0 +1,125 @@
+"""CI entry: end-to-end service smoke against a real server subprocess.
+
+Starts ``repro-sim serve`` as a child process, submits a tiny matrix
+from two *concurrent* clients, asserts every served report is
+byte-identical (canonical JSON) to the same cell run directly through
+:class:`~repro.runner.sweep.SweepRunner`, exercises ``status`` and
+``metrics``, then SIGTERMs the server and requires a clean drained
+exit.  Run by the ``service-smoke`` CI job under a wall-clock guard::
+
+    PYTHONPATH=src timeout 600 python -c \
+        "from repro.service.smoke import smoke; smoke()"
+
+Raises :class:`AssertionError` (or times out) on any contract breach.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.configs import scheme_config
+from repro.runner import SweepJob, SweepRunner
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.protocol import canonical_report_json
+from repro.workloads import get_workload
+
+#: The tiny matrix both clients submit: one workload, three schemes.
+MATRIX = [("fir", scheme) for scheme in ("unsecure", "private", "batching")]
+
+
+def _wait_for_server(socket_path: Path, deadline_s: float = 30.0) -> None:
+    started = time.monotonic()
+    while time.monotonic() - started < deadline_s:
+        if socket_path.exists():
+            try:
+                with ServiceClient(socket_path, timeout=5.0) as client:
+                    response = client.ping()
+                    assert response.get("ok"), f"ping failed: {response}"
+                    return
+            except ServiceUnavailable:
+                pass
+        time.sleep(0.1)
+    raise AssertionError(f"server socket {socket_path} never came up")
+
+
+def _client_session(socket_path: Path, name: str, gpus: int, scale: float) -> list[str]:
+    """One client's session: submit the matrix, return canonical JSONs."""
+    rendered = []
+    with ServiceClient(socket_path, timeout=300.0) as client:
+        for workload, scheme in MATRIX:
+            response = client.submit(
+                workload, scheme=scheme, gpus=gpus, scale=scale, client=name
+            )
+            assert response.get("ok"), f"{name}: submit failed: {response}"
+            assert response["state"] == "done"
+            rendered.append(canonical_report_json(response["report"]))
+        status = client.status()
+        assert status.get("ok"), f"{name}: status failed: {status}"
+    return rendered
+
+
+def smoke(gpus: int = 2, scale: float = 0.1) -> None:
+    socket_path = Path(tempfile.mkdtemp(prefix="repro-service-")) / "smoke.sock"
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", str(socket_path), "--no-cache"],
+        env=env,
+    )
+    try:
+        _wait_for_server(socket_path)
+
+        # Two concurrent clients submit the same tiny matrix.
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_client_session, socket_path, name, gpus, scale)
+                for name in ("client-a", "client-b")
+            ]
+            served_a, served_b = [f.result(timeout=300) for f in futures]
+
+        # Scheduler telemetry is live and accounted.
+        with ServiceClient(socket_path, timeout=30.0) as client:
+            metrics = client.metrics()
+        assert metrics.get("ok"), f"metrics op failed: {metrics}"
+        served = metrics["metrics"]["service.served"]["value"]
+        assert served == 2 * len(MATRIX), f"expected {2 * len(MATRIX)} served, got {served}"
+
+        # Byte-identical to the direct runner (the determinism contract).
+        runner = SweepRunner(jobs=1)
+        direct = runner.run_jobs(
+            [
+                SweepJob(
+                    spec=get_workload(workload),
+                    config=scheme_config(scheme, n_gpus=gpus),
+                    seed=1,
+                    scale=scale,
+                )
+                for workload, scheme in MATRIX
+            ]
+        )
+        expected = [canonical_report_json(report) for report in direct]
+        assert served_a == expected, "client-a reports differ from direct runner"
+        assert served_b == expected, "client-b reports differ from direct runner"
+
+        # Graceful drain on SIGTERM.
+        server.send_signal(signal.SIGTERM)
+        code = server.wait(timeout=60)
+        assert code == 0, f"server exited {code} instead of draining cleanly"
+        assert not socket_path.exists(), "server left its socket behind"
+        server = None
+        print(f"service smoke OK: {2 * len(MATRIX)} cells served byte-identical, clean drain")
+    finally:
+        if server is not None and server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    smoke()

@@ -10,7 +10,11 @@ Three mechanical checks over the repo's own documentation set:
 * every **metric name** quoted in ``docs/OBSERVABILITY.md`` uses a known
   registry namespace, and the page's namespace table matches
   ``KNOWN_NAMESPACES`` exactly (both directions — a namespace added in
-  code must be documented, a documented one must exist).
+  code must be documented, a documented one must exist);
+* the **README documentation map** lists every page under ``docs/`` —
+  adding a page without indexing it fails here;
+* ``docs/SERVICE.md`` keeps a worked transcript covering the whole
+  service verb set (serve / submit / status / cancel).
 
 Wired into CI as part of the tier-1 test run.
 """
@@ -102,6 +106,32 @@ def test_documented_cli_commands_parse(argv):
 def test_docs_quote_at_least_a_few_commands():
     """The parser dry-run must actually be exercising something."""
     assert len(all_cli_commands()) >= 10
+
+
+def test_readme_documentation_map_is_complete():
+    """Every page under docs/ is indexed in the README documentation map."""
+    readme = (ROOT / "README.md").read_text()
+    start = readme.index("## Documentation map")
+    end = readme.index("## ", start + 3)
+    doc_map = readme[start:end]
+    missing = [
+        f"docs/{page.name}"
+        for page in sorted((ROOT / "docs").glob("*.md"))
+        if f"docs/{page.name}" not in doc_map
+    ]
+    assert not missing, f"README documentation map is missing {missing}"
+
+
+def test_service_doc_covers_every_service_verb():
+    """SERVICE.md's worked transcript exercises the full verb set."""
+    verbs = {
+        argv[0]
+        for _, argv in _cli_commands((ROOT / "docs" / "SERVICE.md").read_text())
+        if argv
+    }
+    assert {"serve", "submit", "status", "cancel"} <= verbs, (
+        f"SERVICE.md transcript only covers {sorted(verbs)}"
+    )
 
 
 class TestObservabilityNamespace:

@@ -348,3 +348,56 @@ class TestRetryBackoff:
         runner.run_jobs([_grid()[0]])
         assert runner.stats.failures == []
         assert runner.stats.as_dict()["failures"] == []
+
+
+class TestCpuAffinity:
+    """``resolve_jobs`` must respect the scheduler affinity mask, not the
+    host's raw core count — a cgroup-limited runner (CI container, the
+    simulation service in a pod) oversubscribes its pool otherwise."""
+
+    def test_available_cpus_reads_affinity_mask(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        assert sweep_mod.available_cpus() == 3
+
+    def test_available_cpus_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        monkeypatch.delattr(sweep_mod.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 7)
+        assert sweep_mod.available_cpus() == 7
+
+    def test_resolve_jobs_capped_by_affinity(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+        from repro.runner import resolve_jobs
+
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity", lambda pid: {0, 1})
+        assert resolve_jobs(8) == 2   # explicit request capped at the mask
+        assert resolve_jobs(1) == 1   # requests inside the mask untouched
+        monkeypatch.setenv("REPRO_JOBS", "16")
+        assert resolve_jobs(None) == 2  # env-derived counts capped too
+
+    def test_resolve_jobs_single_cpu_affinity_forces_one_worker(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+        from repro.runner import resolve_jobs
+
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity", lambda pid: {5})
+        assert resolve_jobs(4) == 1
+
+    def test_auto_mode_goes_serial_under_single_cpu_affinity(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        # 8 host cores visible, but the mask allows one: auto must pick
+        # serial — pool spawn on an oversubscribed core only loses time.
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity", lambda pid: {0})
+        runner = SweepRunner(jobs=4, mode="auto")
+        assert runner._resolve_mode(n_workers=4, n_pending=10) == "serial"
+
+    def test_auto_mode_parallel_with_wide_affinity(self, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity", lambda pid: {0, 1, 2, 3})
+        runner = SweepRunner(jobs=4, mode="auto")
+        assert runner._resolve_mode(n_workers=4, n_pending=10) == "parallel"
