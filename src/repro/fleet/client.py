@@ -1,0 +1,242 @@
+"""Blocking fleet client: submit whole sweeps, read back ordered results.
+
+This is the piece :class:`~repro.runner.sweep.SweepRunner` holds when it
+runs in ``mode="fleet"`` and what ``repro-sim status --fleet`` talks
+through.  It speaks the same authenticated frames as the workers (one
+:class:`~repro.fleet.wire.FrameCodec` per connection, ``client`` role in
+the hello) over a plain blocking socket — no event loop on the client
+side, because a sweep submission is strictly request/response.
+
+:meth:`FleetClient.sweep` renders every cell with its full config tree
+(:func:`~repro.fleet.protocol.job_to_wire`), sends one ``sweep`` frame,
+and blocks until the coordinator's single ``sweep_result`` arrives.
+Results come back indexed by input position and are decoded through
+:func:`~repro.runner.serialize.report_from_dict` — the same
+serialization path the process pool and the result cache use, which is
+what makes a fleet sweep byte-identical to a local one.
+
+Failure taxonomy:
+
+* :class:`FleetUnavailable` — could not connect, or the coordinator hung
+  up without answering.  The sweep runner treats this as "no fleet" and
+  falls back to local execution.
+* :class:`FleetError` (with a ``code`` from
+  :data:`~repro.fleet.protocol.FLEET_ERROR_CODES`) — the coordinator
+  answered with a structured error: authentication rejected, malformed
+  sweep, retries exhausted, shutting down.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Sequence
+
+from repro.runner.jobs import SweepJob
+from repro.runner.serialize import report_from_dict
+from repro.service.queues import DEFAULT_PRIORITY
+
+from repro.fleet import protocol
+from repro.fleet.wire import (
+    DIR_FROM_COORDINATOR,
+    DIR_TO_COORDINATOR,
+    FrameCodec,
+    FrameError,
+    MAX_FRAME_BYTES,
+    make_nonce,
+)
+
+#: Handshake / control-op timeout (sweeps wait as long as they need).
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+
+class FleetError(RuntimeError):
+    """A structured error from the coordinator (or the client plumbing)."""
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class FleetUnavailable(FleetError):
+    """No coordinator at the address (refused, reset, or silent EOF)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="internal")
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``host:port`` (or ``:port`` for localhost) -> ``(host, port)``."""
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise ValueError(f"fleet address {addr!r} must look like host:port")
+    return (host or "127.0.0.1", int(port_text))
+
+
+class FleetClient:
+    """One authenticated client connection to a fleet coordinator.
+
+    Lazily connects on first use; usable as a context manager.  Not
+    thread-safe — one sweep conversation at a time per client, which is
+    also what the coordinator's per-connection ordering assumes.
+    """
+
+    def __init__(
+        self,
+        addr: str | tuple[str, int],
+        key: bytes,
+        *,
+        name: str = "fleet-client",
+        connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    ) -> None:
+        self.host, self.port = parse_addr(addr) if isinstance(addr, str) else addr
+        self.key = key
+        self.name = name
+        self.connect_timeout_s = connect_timeout_s
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._codec: FrameCodec | None = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise FleetUnavailable(
+                f"no fleet coordinator at {self.host}:{self.port} ({exc})"
+            ) from exc
+        file = sock.makefile("rb")
+        codec = FrameCodec(self.key)
+        try:
+            nonce = make_nonce()
+            sock.sendall(codec.seal_hello(protocol.hello_body("client", self.name, nonce)))
+            line = file.readline(MAX_FRAME_BYTES)
+            if not line:
+                raise FleetUnavailable("coordinator closed during handshake")
+            rejection = FrameCodec.is_rejection(line)
+            if rejection is not None:
+                error = rejection.get("error", {})
+                raise FleetError(
+                    f"fleet authentication failed: {error.get('message', 'rejected')}",
+                    code="auth_failed",
+                )
+            codec.open_welcome(line, nonce, DIR_TO_COORDINATOR, DIR_FROM_COORDINATOR)
+        except (OSError, FrameError) as exc:
+            file.close()
+            sock.close()
+            if isinstance(exc, FrameError):
+                raise FleetError(f"fleet handshake failed: {exc}", code="auth_failed") from exc
+            raise FleetUnavailable(f"fleet handshake failed: {exc}") from exc
+        except FleetError:
+            file.close()
+            sock.close()
+            raise
+        self._sock = sock
+        self._file = file
+        self._codec = codec
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        self._codec = None
+
+    def __enter__(self) -> "FleetClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request/response plumbing
+    # ------------------------------------------------------------------
+    def _request(self, body: dict, *, timeout_s: float | None) -> dict:
+        self.connect()
+        self._sock.settimeout(timeout_s)
+        try:
+            self._sock.sendall(self._codec.seal(body))
+            line = self._file.readline(MAX_FRAME_BYTES)
+        except socket.timeout as exc:
+            self.close()  # the codec's counters are now unsynchronized
+            raise FleetError(f"fleet request timed out after {timeout_s}s") from exc
+        except OSError as exc:
+            self.close()
+            raise FleetUnavailable(f"fleet connection lost: {exc}") from exc
+        if not line:
+            self.close()
+            raise FleetUnavailable("fleet coordinator hung up")
+        try:
+            return self._codec.open(line)
+        except FrameError as exc:
+            self.close()
+            raise FleetError(f"fleet response failed verification: {exc}", code="auth_failed") from exc
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self, *, timeout_s: float | None = 10.0) -> dict[str, Any]:
+        return self._request({"op": "ping"}, timeout_s=timeout_s)
+
+    def status(self, *, timeout_s: float | None = 10.0) -> dict[str, Any]:
+        """The coordinator's live snapshot (workers, queue, ``fleet.*``)."""
+        return self._request({"op": "status"}, timeout_s=timeout_s)
+
+    def sweep(
+        self,
+        jobs: Sequence[SweepJob],
+        *,
+        priority: str = DEFAULT_PRIORITY,
+        timeout_s: float | None = None,
+    ) -> list:
+        """Run ``jobs`` on the fleet; reports come back in input order.
+
+        Raises :class:`FleetError` with the coordinator's structured code
+        on failure — never a partial result list.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        body = self._request(
+            {
+                "op": "sweep",
+                "id": request_id,
+                "priority": priority,
+                "cells": [protocol.job_to_wire(job) for job in jobs],
+            },
+            timeout_s=timeout_s,
+        )
+        if body.get("op") != "sweep_result" or body.get("id") != request_id:
+            self.close()
+            raise FleetError(f"unexpected fleet response {body.get('op')!r}")
+        if not body.get("ok"):
+            error = body.get("error") or {}
+            raise FleetError(
+                error.get("message", "fleet sweep failed"),
+                code=error.get("code", "internal"),
+            )
+        results = body.get("results")
+        if not isinstance(results, list) or len(results) != len(jobs):
+            self.close()
+            raise FleetError(
+                f"fleet returned {len(results) if isinstance(results, list) else '?'} "
+                f"results for {len(jobs)} cells"
+            )
+        return [report_from_dict(result) for result in results]
+
+
+__all__ = [
+    "DEFAULT_CONNECT_TIMEOUT_S",
+    "FleetClient",
+    "FleetError",
+    "FleetUnavailable",
+    "parse_addr",
+]

@@ -1,0 +1,176 @@
+"""Fleet message schema over the authenticated frames of :mod:`.wire`.
+
+Frame bodies are plain JSON objects with an ``op`` field.  Three
+conversations share the wire:
+
+* **worker <-> coordinator** — ``hello``/``welcome`` handshake, then the
+  coordinator pushes ``assign`` (one work unit: a lease over cells that
+  share a trace key) and ``release``/``shutdown``; the worker streams
+  ``heartbeat``, per-cell ``result``, ``unit_done``, and ``unit_failed``;
+* **client <-> coordinator** — handshake, then ``sweep`` (the full cell
+  list with complete config trees) answered by one ``sweep_result``,
+  plus ``status`` and ``ping`` for the CLI's ``status --fleet`` view.
+
+A cell crosses the wire as ``{"workload", "config", "seed", "scale",
+"n_lanes"}`` with the *entire* :class:`~repro.configs.SystemConfig` tree
+(:func:`~repro.configs.config_to_dict`), so fleet sweeps are not limited
+to the named scheme presets — fault rates, adversary mixes, and fabric
+overrides ship exactly.  Only registry workloads are dispatchable (the
+same restriction as the process pool, for the same reason: a closure has
+no content identity to rebuild from).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.configs import config_from_dict, config_to_dict
+from repro.runner.jobs import SweepJob, is_registry_spec
+from repro.runner.trace_store import trace_key
+from repro.workloads import get_workload
+
+from repro.fleet.wire import FLEET_PROTOCOL, FrameError
+
+#: Roles a connector may declare in its hello.
+ROLES = ("worker", "client")
+
+#: Structured error codes a coordinator response may carry.
+#:
+#: ``auth_failed``        handshake MAC verification failed (sent unauthenticated)
+#: ``bad_request``        malformed frame body or undispatchable cell
+#: ``unknown_workload``   a sweep cell names a workload the registry lacks
+#: ``retries_exhausted``  a cell was reassigned more than the retry bound
+#: ``execution_failed``   a worker reported a deterministic cell failure
+#: ``shutting_down``      coordinator is stopping; resubmit elsewhere
+#: ``internal``           unexpected coordinator-side error (bug — report it)
+FLEET_ERROR_CODES = (
+    "auth_failed",
+    "bad_request",
+    "unknown_workload",
+    "retries_exhausted",
+    "execution_failed",
+    "shutting_down",
+    "internal",
+)
+
+
+class FleetProtocolError(FrameError):
+    """A frame body that does not conform to the fleet schema."""
+
+
+def fleet_error(code: str, message: str) -> dict[str, str]:
+    if code not in FLEET_ERROR_CODES:
+        raise ValueError(f"unknown fleet error code {code!r}")
+    return {"code": code, "message": message}
+
+
+# ----------------------------------------------------------------------
+# Cell <-> wire
+# ----------------------------------------------------------------------
+def job_to_wire(job: SweepJob) -> dict[str, Any]:
+    """Render one sweep cell for the wire; registry workloads only."""
+    if not is_registry_spec(job.spec):
+        raise FleetProtocolError(
+            f"workload {job.spec.name!r} is not a registry spec; "
+            "non-registry cells cannot be dispatched to the fleet"
+        )
+    return {
+        "workload": job.spec.name,
+        "config": config_to_dict(job.config),
+        "seed": job.seed,
+        "scale": job.scale,
+        "n_lanes": job.n_lanes,
+    }
+
+
+def job_from_wire(cell: dict[str, Any]) -> SweepJob:
+    """Rebuild the :class:`SweepJob` a wire cell describes.
+
+    Raises :class:`KeyError` for an unknown workload and
+    :class:`FleetProtocolError` for a malformed cell — the coordinator
+    maps those to ``unknown_workload`` / ``bad_request`` before any
+    worker sees the cell.
+    """
+    if not isinstance(cell, dict):
+        raise FleetProtocolError("cell must be a JSON object")
+    for field in ("workload", "config", "seed", "scale", "n_lanes"):
+        if field not in cell:
+            raise FleetProtocolError(f"cell is missing required field {field!r}")
+    spec = get_workload(cell["workload"])
+    try:
+        config = config_from_dict(cell["config"])
+    except (TypeError, ValueError) as exc:
+        raise FleetProtocolError(f"cell config does not parse: {exc}") from exc
+    seed, scale, n_lanes = cell["seed"], cell["scale"], cell["n_lanes"]
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise FleetProtocolError("cell 'seed' must be an integer")
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+        raise FleetProtocolError("cell 'scale' must be a positive number")
+    if not isinstance(n_lanes, int) or isinstance(n_lanes, bool) or n_lanes < 1:
+        raise FleetProtocolError("cell 'n_lanes' must be a positive integer")
+    return SweepJob(spec=spec, config=config, seed=seed, scale=float(scale), n_lanes=n_lanes)
+
+
+def wire_trace_key(cell: dict[str, Any]) -> str:
+    """The trace-sharing group of a wire cell (no spec rebuild needed)."""
+    return trace_key(
+        cell["workload"],
+        cell["config"]["n_gpus"],
+        cell["seed"],
+        cell["scale"],
+        cell["n_lanes"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Handshake bodies
+# ----------------------------------------------------------------------
+def hello_body(role: str, name: str, nonce: str) -> dict[str, Any]:
+    if role not in ROLES:
+        raise FleetProtocolError(f"unknown role {role!r}")
+    return {
+        "op": "hello",
+        "role": role,
+        "name": name,
+        "nonce": nonce,
+        "protocol": FLEET_PROTOCOL,
+    }
+
+
+def validate_hello(body: dict[str, Any]) -> dict[str, Any]:
+    """Check a hello body; raises :class:`FleetProtocolError`."""
+    if body.get("op") != "hello":
+        raise FleetProtocolError("first frame must be a hello")
+    role = body.get("role")
+    if role not in ROLES:
+        raise FleetProtocolError(f"unknown role {role!r}; choose from {', '.join(ROLES)}")
+    nonce = body.get("nonce")
+    if not isinstance(nonce, str) or not nonce:
+        raise FleetProtocolError("hello must carry a non-empty string nonce")
+    if body.get("protocol") != FLEET_PROTOCOL:
+        raise FleetProtocolError(
+            f"protocol mismatch: peer speaks {body.get('protocol')!r}, "
+            f"this side speaks {FLEET_PROTOCOL}"
+        )
+    name = body.get("name")
+    if not isinstance(name, str) or not name:
+        raise FleetProtocolError("hello must carry a non-empty string name")
+    return body
+
+
+def welcome_body(nonce: str) -> dict[str, Any]:
+    return {"op": "welcome", "nonce": nonce, "protocol": FLEET_PROTOCOL}
+
+
+__all__ = [
+    "FLEET_ERROR_CODES",
+    "FleetProtocolError",
+    "ROLES",
+    "fleet_error",
+    "hello_body",
+    "job_from_wire",
+    "job_to_wire",
+    "validate_hello",
+    "welcome_body",
+    "wire_trace_key",
+]

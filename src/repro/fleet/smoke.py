@@ -1,0 +1,198 @@
+"""CI entry: end-to-end fleet smoke against real coordinator/worker processes.
+
+Starts ``repro-sim fleet coordinator`` and two ``repro-sim fleet
+serve-worker`` child processes, submits a sweep through
+:class:`~repro.fleet.client.FleetClient`, SIGKILLs one worker while the
+sweep is in flight, and asserts the contract the fleet exists to keep:
+
+* the sweep still completes — the dead worker's remaining cells are
+  reassigned under the lease machinery, with zero lost and zero
+  duplicated cells;
+* every report is byte-identical (canonical JSON) to the same cell run
+  directly through :class:`~repro.runner.sweep.SweepRunner` — worker
+  death, reassignment, and multi-worker interleaving leave no trace in
+  the results;
+* ``status`` shows the surviving worker; a client with the wrong key is
+  rejected with a structured ``auth_failed``;
+* SIGTERM stops the coordinator cleanly (exit 0) and the surviving
+  worker exits 0 on the shutdown frame.
+
+Run by the ``fleet-smoke`` CI job under a wall-clock guard::
+
+    PYTHONPATH=src timeout 600 python -c \
+        "from repro.fleet.smoke import smoke; smoke()"
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.configs import scheme_config
+from repro.runner import SweepJob, SweepRunner
+from repro.service.protocol import canonical_report_json
+from repro.workloads import get_workload
+
+from repro.fleet.client import FleetClient, FleetError
+from repro.fleet.wire import MIN_KEY_BYTES
+
+#: The sweep: three schemes x eight seeds -> 24 cells in eight work units
+#: (cells sharing a seed share a trace key), enough in-flight grist that
+#: killing a worker once results start landing reliably strands a
+#: partially-finished unit for the lease machinery to reassign.
+MATRIX = [
+    (workload, scheme, seed)
+    for workload in ("fir",)
+    for scheme in ("unsecure", "private", "batching")
+    for seed in (1, 2, 3, 4, 5, 6, 7, 8)
+]
+
+SMOKE_KEY = b"fleet-smoke-shared-secret"
+assert len(SMOKE_KEY) >= MIN_KEY_BYTES
+
+
+def _jobs(gpus: int, scale: float) -> list[SweepJob]:
+    return [
+        SweepJob(
+            spec=get_workload(workload),
+            config=scheme_config(scheme, n_gpus=gpus),
+            seed=seed,
+            scale=scale,
+        )
+        for workload, scheme, seed in MATRIX
+    ]
+
+
+def _wait_for_port(port_file: Path, deadline_s: float = 30.0) -> int:
+    started = time.monotonic()
+    while time.monotonic() - started < deadline_s:
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.1)
+    raise AssertionError(f"coordinator never wrote its port to {port_file}")
+
+
+def smoke(gpus: int = 2, scale: float = 0.5) -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+    key_file = workdir / "fleet.key"
+    key_file.write_bytes(SMOKE_KEY)
+    port_file = workdir / "port"
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    env["REPRO_TRACE_DIR"] = str(workdir / "traces")
+
+    children: list[subprocess.Popen] = []
+
+    def spawn(*argv: str) -> subprocess.Popen:
+        child = subprocess.Popen([sys.executable, "-m", "repro", *argv], env=env)
+        children.append(child)
+        return child
+
+    coordinator = spawn(
+        "fleet", "coordinator",
+        "--host", "127.0.0.1", "--port", "0",
+        "--auth-key-file", str(key_file),
+        "--port-file", str(port_file),
+        "--lease-timeout", "3", "--steal-after", "2",
+    )
+    try:
+        port = _wait_for_port(port_file)
+        addr = f"127.0.0.1:{port}"
+        workers = [
+            spawn(
+                "fleet", "serve-worker",
+                "--addr", addr,
+                "--auth-key-file", str(key_file),
+                "--name", f"smoke-worker-{i}",
+                "--heartbeat", "0.5",
+            )
+            for i in range(2)
+        ]
+
+        # Wrong key -> structured auth_failed, coordinator unharmed.
+        try:
+            with FleetClient(addr, b"not-the-fleet-key") as impostor:
+                impostor.ping()
+            raise AssertionError("a client with the wrong key was accepted")
+        except FleetError as exc:
+            assert exc.code == "auth_failed", f"expected auth_failed, got {exc.code}"
+
+        import threading
+
+        # SIGKILL one worker while the sweep is in flight.  The blocking
+        # sweep call can't do it, so an assassin thread watches the
+        # coordinator's metrics over its own connection and pulls the
+        # trigger as soon as results start landing — at that point the
+        # victim is mid-unit and its remaining cells must be reassigned.
+        killed = threading.Event()
+        stop = threading.Event()
+
+        def assassinate() -> None:
+            with FleetClient(addr, SMOKE_KEY, name="smoke-assassin") as spy:
+                while not stop.is_set():
+                    metrics = spy.status()["metrics"]
+                    if metrics.get("fleet.completed", {}).get("value", 0) >= 1:
+                        workers[0].kill()
+                        killed.set()
+                        return
+                    time.sleep(0.05)
+
+        with FleetClient(addr, SMOKE_KEY, name="smoke-client") as client:
+            # Wait until both workers have registered.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if len(client.status()["workers"]) == 2:
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("workers never registered with the coordinator")
+
+            assassin = threading.Thread(target=assassinate, daemon=True)
+            assassin.start()
+            try:
+                reports = client.sweep(_jobs(gpus, scale), timeout_s=300)
+            finally:
+                stop.set()
+            assassin.join(timeout=10)
+            status = client.status()
+
+        assert killed.is_set(), "sweep finished before the assassin saw any results"
+        assert workers[0].wait(timeout=10) != 0, "SIGKILLed worker exited 0?"
+        survivors = status["workers"]
+        assert len(survivors) == 1, f"expected 1 surviving worker, got {survivors}"
+        reassigned = status["metrics"].get("fleet.reassigned", {}).get("value", 0)
+        assert reassigned >= 1, f"expected reassignment after the kill, metrics: {status['metrics']}"
+
+        # Byte-identity against the direct runner: worker death and
+        # reassignment must leave no trace in the merged results.
+        direct = SweepRunner(jobs=1, cache=None).run_jobs(_jobs(gpus, scale))
+        served = [canonical_report_json(report) for report in reports]
+        expected = [canonical_report_json(report) for report in direct]
+        assert served == expected, "fleet reports differ from direct runner"
+
+        # Clean shutdown: coordinator drains on SIGTERM, surviving worker
+        # exits 0 on the shutdown frame.
+        coordinator.send_signal(signal.SIGTERM)
+        assert coordinator.wait(timeout=30) == 0, "coordinator did not exit cleanly"
+        assert workers[1].wait(timeout=30) == 0, "surviving worker did not exit cleanly"
+        children.clear()
+        print(
+            f"fleet smoke OK: {len(MATRIX)} cells byte-identical through a "
+            "worker SIGKILL, clean shutdown"
+        )
+    finally:
+        for child in children:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    smoke()

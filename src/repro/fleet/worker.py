@@ -1,0 +1,332 @@
+"""The fleet worker: one host's cores, leased to the coordinator.
+
+``repro-sim fleet serve-worker`` dials the coordinator, proves knowledge
+of the fleet key in its first frame, and then serves assignments until
+released: each **assign** frame carries a work unit — cells sharing one
+trace key — which the worker executes strictly in the order sent through
+the exact :func:`~repro.runner.jobs.execute_job` path a local sweep
+uses.  The shared :class:`~repro.runner.trace_store.TraceStore` means
+the unit's trace is generated (or loaded) once and every sibling cell
+reuses it.
+
+Cells simulate in a thread-pool executor, so the event loop keeps
+breathing: **heartbeats** flow on schedule even while a cell grinds,
+which is precisely what lets the coordinator tell a *slow* worker (alive,
+heartbeating, lease renewed) from a *dead* one (silent past the lease
+timeout).  Per-cell results stream back as they finish — a worker that
+dies mid-unit has already banked everything it completed, and only the
+remainder is reassigned.
+
+A **release** frame (the unit finished elsewhere, or its sweep failed)
+takes effect at the next cell boundary; a **shutdown** frame ends the
+session.  Transient connection loss triggers bounded reconnection with
+backoff; an authentication rejection does not (a wrong key never heals
+by retrying).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import socket
+import time
+from functools import partial
+from typing import Any
+
+from repro.runner.jobs import execute_job
+from repro.runner.serialize import report_to_dict
+from repro.runner.trace_store import TraceStore, default_trace_store
+
+from repro.fleet import protocol
+from repro.fleet.wire import (
+    DIR_FROM_COORDINATOR,
+    DIR_TO_COORDINATOR,
+    FleetAuthError,
+    FrameCodec,
+    FrameError,
+    MAX_FRAME_BYTES,
+    make_nonce,
+)
+
+#: Default heartbeat cadence; keep several beats inside one lease timeout.
+DEFAULT_HEARTBEAT_S = 2.0
+
+#: Reconnect backoff schedule after transient connection loss.
+DEFAULT_RECONNECT_DELAYS = (0.5, 1.0, 2.0, 4.0)
+
+
+class _Assignment:
+    """One leased work unit as the worker sees it."""
+
+    __slots__ = ("unit_id", "epoch", "cells", "released")
+
+    def __init__(self, unit_id: str, epoch: int, cells: list[dict]) -> None:
+        self.unit_id = unit_id
+        self.epoch = epoch
+        self.cells = cells
+        self.released = False
+
+
+class FleetWorker:
+    """One authenticated worker session against a coordinator.
+
+    :meth:`run` performs the handshake and serves until shutdown, release
+    of the connection, or connection loss (raised as ``ConnectionError``
+    so the caller can decide whether to reconnect).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        key: bytes,
+        *,
+        name: str | None = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        trace_store: TraceStore | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.key = key
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.heartbeat_s = heartbeat_s
+        self.trace_store = trace_store if trace_store is not None else default_trace_store()
+        self.cells_done = 0
+        self.units_done = 0
+        self.shutdown_seen = False
+        self._codec: FrameCodec | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._send_lock = asyncio.Lock()
+        self._assignments: dict[str, _Assignment] = {}
+        self._unit_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Session
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        codec = FrameCodec(self.key)
+        self._codec = codec
+        self._writer = writer
+        try:
+            nonce = make_nonce()
+            writer.write(codec.seal_hello(protocol.hello_body("worker", self.name, nonce)))
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("coordinator closed during handshake")
+            rejection = FrameCodec.is_rejection(line)
+            if rejection is not None:
+                error = rejection.get("error", {})
+                raise FleetAuthError(
+                    f"coordinator rejected handshake: {error.get('message', 'auth failed')}"
+                )
+            codec.open_welcome(line, nonce, DIR_TO_COORDINATOR, DIR_FROM_COORDINATOR)
+            heartbeat = asyncio.ensure_future(self._heartbeat_loop())
+            try:
+                await self._serve(reader)
+            finally:
+                heartbeat.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await heartbeat
+                for task in list(self._unit_tasks):
+                    task.cancel()
+                for task in list(self._unit_tasks):
+                    with contextlib.suppress(asyncio.CancelledError, Exception):
+                        await task
+        finally:
+            self._writer = None
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _serve(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                if self.shutdown_seen:
+                    return
+                raise ConnectionError("coordinator connection lost")
+            body = self._codec.open(line)  # FleetAuthError propagates: bail out
+            op = body.get("op")
+            if op == "assign":
+                self._start_unit(body)
+            elif op == "release":
+                assignment = self._assignments.get(body.get("unit", ""))
+                if assignment is not None:
+                    assignment.released = True
+            elif op == "shutdown":
+                self.shutdown_seen = True
+                return
+            # unknown coordinator ops are ignored (forward compatibility)
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            try:
+                await self._send({"op": "heartbeat"})
+            except (ConnectionError, OSError):
+                return
+
+    async def _send(self, body: dict) -> None:
+        writer = self._writer
+        if writer is None:
+            raise ConnectionError("worker session is closed")
+        # Counter assignment and the write must be atomic, or interleaved
+        # sends would hit the wire out of counter order and the coordinator
+        # would (correctly) reject them as reordered.
+        async with self._send_lock:
+            writer.write(self._codec.seal(body))
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Unit execution
+    # ------------------------------------------------------------------
+    def _start_unit(self, body: dict) -> None:
+        cells = body.get("cells")
+        unit_id = body.get("unit")
+        if not isinstance(cells, list) or not isinstance(unit_id, str):
+            return
+        assignment = _Assignment(unit_id, body.get("epoch", 0), cells)
+        self._assignments[unit_id] = assignment
+        task = asyncio.ensure_future(self._run_unit(assignment))
+        task.set_name(f"fleet-unit-{unit_id}")
+        self._unit_tasks.add(task)
+        task.add_done_callback(self._unit_tasks.discard)
+
+    async def _run_unit(self, assignment: _Assignment) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            for entry in assignment.cells:
+                if assignment.released:
+                    break
+                index, cell = entry["index"], entry["job"]
+                try:
+                    job = protocol.job_from_wire(cell)
+                    report = await loop.run_in_executor(
+                        None, partial(execute_job, job, trace_store=self.trace_store)
+                    )
+                except (ConnectionError, asyncio.CancelledError):
+                    raise
+                except Exception as exc:  # deterministic cell failure
+                    await self._send(
+                        {
+                            "op": "unit_failed",
+                            "unit": assignment.unit_id,
+                            "epoch": assignment.epoch,
+                            "cell": index,
+                            "message": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                    return
+                if assignment.released:
+                    break
+                await self._send(
+                    {
+                        "op": "result",
+                        "unit": assignment.unit_id,
+                        "epoch": assignment.epoch,
+                        "cell": index,
+                        "report": report_to_dict(report),
+                    }
+                )
+                self.cells_done += 1
+            if not assignment.released:
+                await self._send(
+                    {"op": "unit_done", "unit": assignment.unit_id, "epoch": assignment.epoch}
+                )
+                self.units_done += 1
+        except (ConnectionError, OSError):
+            return  # the serve loop notices and handles reconnection
+        finally:
+            self._assignments.pop(assignment.unit_id, None)
+
+
+async def _run_worker_async(
+    key: bytes,
+    host: str,
+    port: int,
+    *,
+    name: str | None,
+    heartbeat_s: float,
+    reconnect_delays: tuple[float, ...],
+    trace_store: TraceStore | None = None,
+) -> int:
+    delays = list(reconnect_delays)
+    attempt = 0
+    store = trace_store if trace_store is not None else default_trace_store()
+    while True:
+        worker = FleetWorker(
+            host, port, key, name=name, heartbeat_s=heartbeat_s, trace_store=store
+        )
+        started = time.monotonic()
+        try:
+            print(
+                f"repro-sim fleet worker {worker.name}: connecting to {host}:{port}",
+                flush=True,
+            )
+            await worker.run()
+        except FleetAuthError as exc:
+            print(f"repro-sim fleet worker: {exc}", flush=True)
+            return 1
+        except FrameError as exc:
+            print(f"repro-sim fleet worker: protocol error: {exc}", flush=True)
+            return 1
+        except (ConnectionError, OSError) as exc:
+            if time.monotonic() - started > 2 * max(delays, default=1.0):
+                attempt = 0  # a session that lasted a while resets the backoff
+            if attempt >= len(delays):
+                print(f"repro-sim fleet worker: giving up: {exc}", flush=True)
+                return 1
+            delay = delays[attempt]
+            attempt += 1
+            print(
+                f"repro-sim fleet worker: connection lost ({exc}); "
+                f"retrying in {delay:.1f}s",
+                flush=True,
+            )
+            await asyncio.sleep(delay)
+            continue
+        print(
+            f"repro-sim fleet worker {worker.name}: done "
+            f"({worker.cells_done} cells, {worker.units_done} units)",
+            flush=True,
+        )
+        return 0
+
+
+def run_worker(
+    key: bytes,
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    reconnect_delays: tuple[float, ...] = DEFAULT_RECONNECT_DELAYS,
+    trace_store: TraceStore | None = None,
+) -> int:
+    """Blocking CLI entry: serve the coordinator until shutdown."""
+    try:
+        return asyncio.run(
+            _run_worker_async(
+                key,
+                host,
+                port,
+                name=name,
+                heartbeat_s=heartbeat_s,
+                reconnect_delays=reconnect_delays,
+                trace_store=trace_store,
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_RECONNECT_DELAYS",
+    "FleetWorker",
+    "run_worker",
+]

@@ -10,6 +10,7 @@ fanned out over worker processes, merged back in deterministic order.
     reports = runner.run_jobs([SweepJob(spec, config, seed=1, scale=0.5)])
 """
 
+from repro.runner.atomic import atomic_write_bytes, atomic_write_text, sweep_stale_tmp
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
 from repro.runner.jobs import SweepJob, cache_salt, execute_job, is_registry_spec, job_key
 from repro.runner.serialize import report_from_dict, report_to_dict
@@ -23,6 +24,9 @@ from repro.runner.trace_store import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "sweep_stale_tmp",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "default_cache",

@@ -6,8 +6,13 @@ already encodes the full configuration and the code-version salt, lookups
 are a pure existence check and invalidation is automatic: a changed config
 or version hashes to a different file.
 
-Writes are atomic (tmp file + ``os.replace``) so concurrent sweeps — or a
-killed run — can never leave a half-written entry that a later run would
+Writes are atomic (unique tmp file in the cache directory + ``os.replace``
+— see :mod:`repro.runner.atomic`) so any number of concurrent writers —
+pool workers, parallel sweeps on a shared filesystem, fleet workers on
+other hosts — can store the same key at once: every writer produces a
+complete file, the last rename wins, and the winner's content is identical
+to every loser's because a key's report is a pure function of the key.  A
+killed run can never leave a half-written entry that a later run would
 trust; unreadable or mismatched entries are treated as misses and
 overwritten.
 """
@@ -16,12 +21,12 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any
 
 from repro.system import SimulationReport
 
+from repro.runner.atomic import atomic_write_text, sweep_stale_tmp
 from repro.runner.serialize import report_from_dict, report_to_dict
 
 #: Default cache root, relative to the working directory.
@@ -36,6 +41,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._swept_tmp = False
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -60,19 +66,13 @@ class ResultCache:
         (workload/seed/scheme), stored purely to make cache files greppable.
         """
         self.root.mkdir(parents=True, exist_ok=True)
+        if not self._swept_tmp:
+            # First write of this process: reap tmp orphans a killed writer
+            # left behind (bounded, tolerant of concurrent sweepers).
+            self._swept_tmp = True
+            sweep_stale_tmp(self.root)
         payload = {"key": key, "describe": describe or {}, "report": report_to_dict(report)}
-        text = json.dumps(payload)
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, self.path_for(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self.path_for(key), json.dumps(payload))
         self.stores += 1
 
     def clear(self) -> int:

@@ -162,8 +162,9 @@ class SweepStats:
     parallel_runs: int = 0
     serial_runs: int = 0
     retries: int = 0
-    fallbacks: int = 0  # cells the pool failed and serial execution rescued
-    mode: str = ""  # effective mode of the last run: "serial" or "parallel"
+    fallbacks: int = 0  # cells the pool/fleet failed and serial execution rescued
+    fleet_runs: int = 0  # cells served by a fleet coordinator
+    mode: str = ""  # effective mode of the last run: "serial", "parallel", or "fleet"
     trace_reused: int = 0  # cells served by an already-loaded trace (memo)
     trace_store_hits: int = 0  # cells whose trace loaded from the disk store
     trace_gen_s: float = 0.0
@@ -197,10 +198,17 @@ class SweepRunner:
                             added so simultaneous sweeps retrying against a
                             shared resource (disk cache, trace store) don't
                             stampede in lockstep.  0 disables sleeping.
-    ``mode``         ``"auto"`` (default) / ``"serial"`` / ``"parallel"``;
-                     auto picks serial for small grids and single-CPU hosts
+    ``mode``         ``"auto"`` (default) / ``"serial"`` / ``"parallel"`` /
+                     ``"fleet"``; auto picks serial for small grids and
+                     single-CPU hosts and never picks fleet — distributing
+                     is an explicit operator decision
     ``trace_store``  :class:`TraceStore` for cross-scheme trace sharing;
                      None builds :func:`default_trace_store` on first use
+    ``fleet_addr``   ``host:port`` of a fleet coordinator; required when
+                     ``mode="fleet"``
+    ``fleet_key``    the fleet's shared secret; None resolves
+                     ``REPRO_FLEET_KEY`` on first use
+    ``fleet_priority``  admission class for fleet submissions
     """
 
     jobs: int | None = None
@@ -211,6 +219,9 @@ class SweepRunner:
     retry_backoff_max: float = 2.0
     mode: str = "auto"
     trace_store: TraceStore | None = None
+    fleet_addr: str | None = None
+    fleet_key: bytes | None = None
+    fleet_priority: str = "normal"
     stats: SweepStats = field(default_factory=SweepStats)
     #: runner-scoped telemetry: ``trace.reused`` / ``trace.store_hits``
     #: counters accumulate here across ``run_jobs`` calls.  Deliberately
@@ -221,8 +232,10 @@ class SweepRunner:
 
     def run_jobs(self, sweep_jobs: Sequence[SweepJob]) -> list[SimulationReport]:
         """Execute every cell and return reports in input order."""
-        if self.mode not in ("auto", "serial", "parallel"):
+        if self.mode not in ("auto", "serial", "parallel", "fleet"):
             raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.mode == "fleet" and not self.fleet_addr:
+            raise ValueError('mode="fleet" requires fleet_addr (host:port)')
         if self.trace_store is None:
             self.trace_store = default_trace_store()
         n_workers = resolve_jobs(self.jobs)
@@ -249,6 +262,8 @@ class SweepRunner:
         self.stats.mode = self._resolve_mode(n_workers, len(pending))
         if self.stats.mode == "parallel":
             self._run_parallel(pending, unique, n_workers)
+        elif self.stats.mode == "fleet":
+            self._run_fleet(pending, unique)
 
         for job in pending:
             if unique[job] is None:
@@ -368,6 +383,42 @@ class SweepRunner:
                         proc.join(timeout=5.0)
                     except (OSError, ValueError, AssertionError):
                         pass
+
+    def _run_fleet(
+        self,
+        pending: list[SweepJob],
+        results: dict[SweepJob, SimulationReport | None],
+    ) -> None:
+        """Submit dispatchable cells to the fleet coordinator.
+
+        An unreachable coordinator or a fleet-side sweep failure leaves
+        the cells as None — the caller's serial loop rescues them locally
+        (counted in ``stats.fallbacks``).  Authentication failures raise:
+        a misconfigured key must be loud, not silently slow.
+        """
+        # Imported lazily: repro.fleet imports this module.
+        from repro.fleet.client import FleetClient, FleetError
+        from repro.fleet.wire import load_auth_key
+
+        dispatchable = [job for job in pending if is_registry_spec(job.spec)]
+        if not dispatchable:
+            return
+        key = self.fleet_key if self.fleet_key is not None else load_auth_key()
+        try:
+            started = perf_counter()
+            with FleetClient(self.fleet_addr, key) as client:
+                reports = client.sweep(
+                    dispatchable, priority=self.fleet_priority, timeout_s=self.timeout
+                )
+            self.stats.ipc_s += perf_counter() - started
+        except FleetError as exc:
+            if exc.code == "auth_failed":
+                raise
+            self.stats.fallbacks += len(dispatchable)
+            return
+        for job, report in zip(dispatchable, reports):
+            results[job] = report
+        self.stats.fleet_runs += len(dispatchable)
 
     def _run_cell(self, job: SweepJob) -> SimulationReport:
         """Run one cell in-process, sharing its trace through the store."""

@@ -31,10 +31,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 
 import repro
+from repro.runner.atomic import atomic_write_bytes, sweep_stale_tmp
 from repro.workloads.compiled import (
     TRACE_SCHEMA,
     CompiledTrace,
@@ -92,6 +92,7 @@ class TraceStore:
     def __init__(self, root: str | Path | None = DEFAULT_TRACE_DIR) -> None:
         self.root = Path(root) if root is not None else None
         self._memo: dict[str, CompiledTrace] = {}
+        self._swept_tmp = False
         self.memo_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -123,24 +124,24 @@ class TraceStore:
         return None
 
     def put(self, key: str, trace: CompiledTrace) -> None:
-        """Insert into the memo and (best-effort, atomically) onto disk."""
+        """Insert into the memo and (best-effort, atomically) onto disk.
+
+        Concurrent puts of the same key — pool workers racing on a shared
+        store root, fleet workers on a shared filesystem — are benign:
+        each writes a complete temp file and the last atomic rename wins
+        with byte-identical content (traces are a pure function of the
+        key; see :mod:`repro.runner.atomic`).
+        """
         self._memo[key] = trace
         path = self.path_for(key)
         if path is None:
             return
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".npz")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(dump_bytes(trace))
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            if not self._swept_tmp:
+                self._swept_tmp = True
+                sweep_stale_tmp(self.root)
+            atomic_write_bytes(path, dump_bytes(trace))
             self.stores += 1
         except OSError:
             pass  # unwritable store root — the memo still serves this run

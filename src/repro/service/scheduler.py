@@ -17,8 +17,12 @@ gets from :class:`~repro.runner.sweep.SweepRunner`.  The scheduling policy
   executions may be queued; past that, submissions are rejected with a
   structured ``queue_full`` error carrying ``retry_after_s`` (an EWMA of
   recent batch wall time), never dropped silently;
-* **per-client fairness** — clients are drained round-robin, FIFO within
-  a client, so one bulk submitter cannot starve interactive users;
+* **priority classes with per-client fairness** — admission runs through
+  the shared :class:`~repro.service.queues.PriorityRoundRobin`: strict
+  priority across the ``high`` / ``normal`` / ``low`` classes, round-robin
+  across clients within a class, FIFO within a client — so an interactive
+  client outranks the weekly bulk sweep by declaring ``high``, and one
+  bulk submitter still cannot starve another client of its own class;
 * **trace-key batching** — when an execution is dispatched, every queued
   execution sharing its :func:`~repro.runner.trace_store.job_trace_key`
   rides along in the same batch (exactly the grouping
@@ -59,6 +63,7 @@ from repro.configs import scheme_config
 from repro.obs import Telemetry
 from repro.runner import ResultCache, SweepJob, SweepRunner, job_key
 from repro.runner.trace_store import job_trace_key
+from repro.service.queues import DEFAULT_PRIORITY, PRIORITIES, PriorityRoundRobin
 from repro.system import SimulationReport
 from repro.workloads import get_workload
 
@@ -118,19 +123,25 @@ class Ticket:
             "cell": self.job.describe(),
             "state": self.state,
             "source": self.source,
+            "priority": (
+                self.execution.priority if self.execution is not None else DEFAULT_PRIORITY
+            ),
         }
 
 
 class _Execution:
     """One unit of simulation work and the tickets subscribed to it."""
 
-    __slots__ = ("job", "key", "trace_key", "client", "tickets", "state")
+    __slots__ = ("job", "key", "trace_key", "client", "priority", "tickets", "state")
 
-    def __init__(self, job: SweepJob, key: object, client: str) -> None:
+    def __init__(
+        self, job: SweepJob, key: object, client: str, priority: str = DEFAULT_PRIORITY
+    ) -> None:
         self.job = job
         self.key = key  # job_key string, or the SweepJob itself when uncacheable
         self.trace_key = job_trace_key(job)
         self.client = client  # fairness queue this execution waits in
+        self.priority = priority  # admission class it waits at
         self.tickets: list[Ticket] = []
         self.state = "queued"
 
@@ -155,9 +166,15 @@ class SimulationService:
         cache: ResultCache | None = None,
         max_queue: int = 64,
         mode: str = "auto",
+        fleet_addr: str | None = None,
+        fleet_key: bytes | None = None,
         run_batch: Callable[[list[SweepJob]], list[SimulationReport]] | None = None,
     ) -> None:
-        self.runner = SweepRunner(jobs=jobs, cache=cache, mode=mode)
+        if fleet_addr is not None:
+            mode = "fleet"
+        self.runner = SweepRunner(
+            jobs=jobs, cache=cache, mode=mode, fleet_addr=fleet_addr, fleet_key=fleet_key
+        )
         self.cache = cache
         self.max_queue = max_queue
         self.telemetry = Telemetry()
@@ -168,10 +185,9 @@ class SimulationService:
         self._drained = asyncio.Event()
         self._draining = False
         self._running = False
-        # admission state
-        self._queues: dict[str, deque[_Execution]] = {}
-        self._rr: deque[str] = deque()  # clients with queued work, round-robin
-        self._queued = 0  # executions admitted but not yet dispatched
+        # admission state: strict priority classes, round-robin clients
+        # within each, FIFO per client (shared policy with the fleet).
+        self._queue = PriorityRoundRobin()
         self._inflight: dict[object, _Execution] = {}  # key -> queued/running execution
         self._batch_in_flight = False
         # ticket registry (bounded history)
@@ -212,7 +228,7 @@ class SimulationService:
         """Stop admitting, finish every admitted execution, then return."""
         self._draining = True
         self._wake.set()
-        if self._queued == 0 and not self._batch_in_flight:
+        if len(self._queue) == 0 and not self._batch_in_flight:
             self._drained.set()
         await self._drained.wait()
 
@@ -235,13 +251,20 @@ class SimulationService:
         job: SweepJob,
         *,
         client: str = "anonymous",
+        priority: str = DEFAULT_PRIORITY,
         deadline_s: float | None = None,
     ) -> Ticket:
         """Admit one cell; returns its :class:`Ticket` (await ``.future``).
 
         Raises :class:`ServiceError` with code ``draining`` or
-        ``queue_full``; both are rejections the client can retry.
+        ``queue_full`` (both retryable rejections) or ``bad_request``
+        for an unknown priority class.
         """
+        if priority not in PRIORITIES:
+            raise ServiceError(
+                "bad_request",
+                f"unknown priority {priority!r}; choose from {', '.join(PRIORITIES)}",
+            )
         self.telemetry.counter("service.submitted").add(1)
         loop = asyncio.get_running_loop()
         ticket = Ticket(
@@ -282,7 +305,7 @@ class SimulationService:
             self._arm_deadline(ticket, deadline_s, execution)
             return ticket
         # 3. bounded admission: reject-with-retry-after, never drop
-        if self._queued >= self.max_queue:
+        if len(self._queue) >= self.max_queue:
             self.telemetry.counter("service.rejected").add(1)
             raise ServiceError(
                 "queue_full",
@@ -290,16 +313,12 @@ class SimulationService:
                 retry_after_s=round(max(0.1, self._batch_ewma_s), 3),
             )
         self.telemetry.counter("service.admitted").add(1)
-        execution = _Execution(job, key, client)
+        execution = _Execution(job, key, client, priority)
         ticket.execution = execution
         execution.tickets.append(ticket)
         self._inflight[key] = execution
-        queue = self._queues.setdefault(client, deque())
-        if client not in self._rr:
-            self._rr.append(client)
-        queue.append(execution)
-        self._queued += 1
-        self.telemetry.gauge("service.queue.depth").set(self._queued)
+        self._queue.push(execution, client=client, priority=priority)
+        self.telemetry.gauge("service.queue.depth").set(len(self._queue))
         self._register(ticket)
         self._arm_deadline(ticket, deadline_s, execution)
         self._wake.set()
@@ -310,6 +329,7 @@ class SimulationService:
         return self.submit(
             job_from_spec(request["job"]),
             client=request.get("client", "anonymous"),
+            priority=request.get("priority", DEFAULT_PRIORITY),
             deadline_s=request.get("deadline_s"),
         )
 
@@ -343,7 +363,7 @@ class SimulationService:
         for ticket in self._tickets.values():
             states[ticket.state] = states.get(ticket.state, 0) + 1
         return {
-            "queue_depth": self._queued,
+            "queue_depth": len(self._queue),
             "max_queue": self.max_queue,
             "draining": self._draining,
             "states": states,
@@ -425,11 +445,8 @@ class SimulationService:
         if execution is None:
             return  # cache-hit tickets never joined an execution
         if execution.state == "queued" and not execution.live_tickets():
-            queue = self._queues.get(execution.client)
-            if queue is not None and execution in queue:
-                queue.remove(execution)
-                self._queued -= 1
-                self.telemetry.gauge("service.queue.depth").set(self._queued)
+            if self._queue.remove(execution):
+                self.telemetry.gauge("service.queue.depth").set(len(self._queue))
             self._inflight.pop(execution.key, None)
             if self._draining:
                 self._wake.set()
@@ -438,31 +455,22 @@ class SimulationService:
     # Dispatch
     # ------------------------------------------------------------------
     def _take_batch(self) -> list[_Execution]:
-        """Next round-robin execution plus every queued trace-key sibling."""
-        while self._rr:
-            client = self._rr.popleft()
-            queue = self._queues.get(client)
-            if not queue:
-                continue
-            head = queue.popleft()
-            if queue:
-                self._rr.append(client)  # client keeps its turn cycle
-            batch = [head]
-            if head.trace_key is not None:
-                for other in self._queues.values():
-                    siblings = [e for e in other if e.trace_key == head.trace_key]
-                    for execution in siblings:
-                        other.remove(execution)
-                        batch.append(execution)
-            self._queued -= len(batch)
-            self.telemetry.gauge("service.queue.depth").set(self._queued)
-            for execution in batch:
-                execution.state = "running"
-                for ticket in execution.tickets:
-                    if not ticket.future.done():
-                        ticket.state = "running"
-            return batch
-        return []
+        """Next priority/round-robin execution plus every queued trace-key
+        sibling (siblings ride along regardless of their class — the trace
+        is loaded anyway, and a free ride cannot delay the head)."""
+        head = self._queue.pop()
+        if head is None:
+            return []
+        batch = [head]
+        if head.trace_key is not None:
+            batch.extend(self._queue.take(lambda e: e.trace_key == head.trace_key))
+        self.telemetry.gauge("service.queue.depth").set(len(self._queue))
+        for execution in batch:
+            execution.state = "running"
+            for ticket in execution.tickets:
+                if not ticket.future.done():
+                    ticket.state = "running"
+        return batch
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -478,7 +486,7 @@ class SimulationService:
                     await self._execute(loop, batch)
                 finally:
                     self._batch_in_flight = False
-            if self._draining and self._queued == 0:
+            if self._draining and len(self._queue) == 0:
                 self._drained.set()
                 return
 
